@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+its rows (use ``pytest benchmarks/ --benchmark-only -s`` to see them).  The
+parameters are scaled down so the full suite completes in minutes; see
+EXPERIMENTS.md for a discussion of which quantities are expected to match
+the paper (shapes, orderings, crossovers) and which are not (absolute
+CPLEX runtimes, full-dataset subject counts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): the paper table/figure a benchmark regenerates"
+    )
+
+
+@pytest.fixture
+def show_result(capsys):
+    """Print an ExperimentResult outside of output capture, for the bench log."""
+
+    def _show(result) -> None:
+        with capsys.disabled():
+            print()
+            print(result.to_text())
+
+    return _show

@@ -1,0 +1,123 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These do not correspond to a paper artefact directly; they quantify the
+engineering decisions behind the reproduction:
+
+* signature-level σ evaluation vs. expanding the matrix and evaluating at
+  the subject level (the paper's key scalability lever);
+* T-variable pruning (dropping rough assignments with zero total count) and
+  grouping of equivalent rough assignments;
+* the symmetry-breaking hash constraint;
+* the HiGHS backend vs. the pure-Python branch-and-bound solver;
+* the sequential θ search (paper's choice) vs. a coarser step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoder import SortRefinementEncoder
+from repro.core.search import highest_theta_refinement
+from repro.datasets import dbpedia_persons_table
+from repro.functions import similarity as similarity_closed_form
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import EX
+from repro.rules import coverage, similarity
+from repro.rules.counting import sigma_by_signatures
+from repro.rules.semantics import sigma_naive
+
+
+def small_persons(max_signatures: int = 10, n_subjects: int = 2_000) -> SignatureTable:
+    return dbpedia_persons_table(n_subjects=n_subjects, max_signatures=max_signatures)
+
+
+@pytest.fixture(scope="module")
+def tiny_table() -> SignatureTable:
+    counts = {
+        frozenset([EX.a]): 3,
+        frozenset([EX.a, EX.b]): 2,
+        frozenset([EX.b, EX.c]): 2,
+        frozenset([EX.a, EX.b, EX.c]): 1,
+    }
+    return SignatureTable.from_counts([EX.a, EX.b, EX.c], counts)
+
+
+class TestEvaluationAblation:
+    def test_bench_sigma_signature_level(self, benchmark):
+        """σSim via signature-level counting: cost depends on #signatures only."""
+        table = small_persons(max_signatures=16, n_subjects=20_000)
+        value = benchmark(lambda: sigma_by_signatures(similarity(), table))
+        assert value == pytest.approx(similarity_closed_form(table), abs=1e-9)
+
+    def test_bench_sigma_closed_form(self, benchmark):
+        """σSim via the closed form: the production path."""
+        table = small_persons(max_signatures=16, n_subjects=20_000)
+        value = benchmark(lambda: similarity_closed_form(table))
+        assert 0 <= value <= 1
+
+    def test_bench_sigma_subject_level_naive(self, benchmark, tiny_table):
+        """σSim via naive subject-level enumeration (only feasible on tiny data)."""
+        matrix = tiny_table.to_matrix()
+        value = benchmark.pedantic(
+            lambda: sigma_naive(similarity(), matrix), rounds=1, iterations=1
+        )
+        assert value == pytest.approx(similarity_closed_form(tiny_table), abs=1e-9)
+
+
+class TestEncodingAblation:
+    @pytest.mark.parametrize("group", [True, False], ids=["grouped-cases", "ungrouped-cases"])
+    def test_bench_case_grouping(self, benchmark, group):
+        table = small_persons(max_signatures=10)
+        encoder = SortRefinementEncoder(similarity(), group_equivalent_cases=group)
+        instance = benchmark.pedantic(
+            lambda: encoder.encode(table, k=2, theta=0.8), rounds=1, iterations=1
+        )
+        solution = ScipyMilpSolver(time_limit=60).solve(instance.model)
+        assert solution.status in ("optimal", "infeasible")
+
+    @pytest.mark.parametrize(
+        "symmetry", [True, False], ids=["symmetry-breaking", "no-symmetry-breaking"]
+    )
+    def test_bench_symmetry_breaking(self, benchmark, symmetry):
+        table = small_persons(max_signatures=12)
+        encoder = SortRefinementEncoder(coverage(), symmetry_breaking=symmetry)
+
+        def solve() -> bool:
+            instance = encoder.encode(table, k=3, theta=0.8)
+            return ScipyMilpSolver(time_limit=60).solve(instance.model).is_feasible
+
+        feasible = benchmark.pedantic(solve, rounds=1, iterations=1)
+        assert isinstance(feasible, bool)
+
+
+class TestBackendAblation:
+    @pytest.mark.parametrize(
+        "solver_factory",
+        [lambda: ScipyMilpSolver(), lambda: BranchAndBoundSolver(max_nodes=20_000)],
+        ids=["highs", "branch-and-bound"],
+    )
+    def test_bench_backends_on_a_small_instance(self, benchmark, solver_factory, tiny_table):
+        encoder = SortRefinementEncoder(coverage())
+        instance = encoder.encode(tiny_table, k=2, theta=0.7)
+        solution = benchmark.pedantic(
+            lambda: solver_factory().solve(instance.model), rounds=1, iterations=1
+        )
+        assert solution.is_feasible
+
+
+class TestSearchAblation:
+    @pytest.mark.parametrize("step", [0.01, 0.05], ids=["step-0.01", "step-0.05"])
+    def test_bench_theta_search_step(self, benchmark, step):
+        """The paper's sequential search at two granularities."""
+        table = small_persons(max_signatures=12)
+        result = benchmark.pedantic(
+            lambda: highest_theta_refinement(
+                table, coverage(), k=2, step=step, solver_time_limit=30
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.refinement.k <= 2
+        assert result.theta >= 0.5

@@ -1,0 +1,52 @@
+"""Benchmark E2 — Figure 4: DBpedia Persons, highest θ for k = 2 under Cov / Sim / SymDep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("figure 4")
+def test_bench_dbpedia_k2(benchmark, show_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "figure4",
+            n_subjects=20_000,
+            sim_max_signatures=12,
+            step=0.01,
+            solver_time_limit=60.0,
+            render_figures=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_result(result)
+
+    cov_rows = [row for row in result.rows if row["rule"] == "Cov"]
+    sim_rows = [row for row in result.rows if row["rule"] == "Sim"]
+    symdep_rows = [row for row in result.rows if row["rule"].startswith("SymDep")]
+
+    # Figure 4a: the Cov refinement contains an "alive people" sort — the
+    # larger sort drops both death columns — and both sorts beat the whole
+    # dataset's Cov = 0.54 (paper: 0.73 / 0.71).
+    alive = [r for r in cov_rows if not r["uses deathDate"] and not r["uses deathPlace"]]
+    assert alive, "Cov k=2 should rediscover the sort of people that are alive"
+    assert alive[0]["subjects"] == max(r["subjects"] for r in cov_rows)
+    assert all(row["Cov"] > 0.6 for row in cov_rows)
+
+    # Figure 4b: the Sim refinement is more balanced than the Cov one and
+    # keeps high Sim values on both sides (paper: 0.82 / 0.85).
+    assert len(sim_rows) == 2
+    assert all(row["Sim"] > 0.75 for row in sim_rows)
+    sim_imbalance = max(r["subjects"] for r in sim_rows) / min(r["subjects"] for r in sim_rows)
+    cov_imbalance = max(r["subjects"] for r in cov_rows) / min(r["subjects"] for r in cov_rows)
+    assert sim_imbalance < cov_imbalance * 1.5
+
+    # Figure 4c: one SymDep sort drops the deathPlace column entirely and is
+    # trivially 1.0; the other keeps a high value (paper: 1.0 / 0.82).
+    assert len(symdep_rows) == 2
+    values = sorted(row["SymDep"] for row in symdep_rows)
+    assert values[1] == pytest.approx(1.0)
+    assert values[0] > 0.7
+    assert any(not row["uses deathPlace"] for row in symdep_rows)

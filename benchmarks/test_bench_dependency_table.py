@@ -1,0 +1,30 @@
+"""Benchmark E4 — Table 1: σDep over the birth/death properties of DBpedia Persons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_dependency_table
+from repro.experiments.dependency_tables import PAPER_TABLE1
+
+
+@pytest.mark.paper_artifact("table 1")
+def test_bench_dependency_table(benchmark, show_result):
+    result = benchmark.pedantic(
+        lambda: run_dependency_table(n_subjects=20_000), rounds=1, iterations=1
+    )
+    show_result(result)
+    measured = {
+        (row["p1"], column): row[column]
+        for row in result.rows
+        for column in ("deathPlace", "birthPlace", "deathDate", "birthDate")
+    }
+    # Shape check: every measured entry is within 0.2 of the paper's value and
+    # the qualitative headline holds (deathPlace row uniformly high).
+    for key, paper_value in PAPER_TABLE1.items():
+        assert measured[key] == pytest.approx(paper_value, abs=0.2)
+    assert min(
+        measured[("deathPlace", p)] for p in ("birthPlace", "deathDate", "birthDate")
+    ) > max(
+        measured[(p, "deathPlace")] for p in ("birthPlace", "deathDate", "birthDate")
+    )

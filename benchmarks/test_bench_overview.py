@@ -1,0 +1,26 @@
+"""Benchmark E1 — Figures 2 & 3: dataset overviews and whole-sort structuredness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_overview
+
+
+@pytest.mark.paper_artifact("figures 2-3")
+def test_bench_overview(benchmark, show_result):
+    result = benchmark.pedantic(
+        lambda: run_overview(persons_subjects=20_000, nouns_subjects=15_000),
+        rounds=1,
+        iterations=1,
+    )
+    show_result(result)
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    persons = next(v for k, v in by_dataset.items() if "Persons" in k)
+    nouns = next(v for k, v in by_dataset.items() if "Nouns" in k)
+    # Paper values: Persons Cov=0.54 / Sim=0.77; Nouns Cov=0.44 / Sim=0.93.
+    assert persons["Cov"] == pytest.approx(0.54, abs=0.03)
+    assert persons["Sim"] == pytest.approx(0.77, abs=0.03)
+    assert nouns["Cov"] == pytest.approx(0.44, abs=0.03)
+    assert nouns["Sim"] == pytest.approx(0.93, abs=0.03)
+    assert persons["signatures"] <= 64 and nouns["signatures"] <= 53

@@ -1,0 +1,17 @@
+"""Benchmark E10 — Theorem 5.1 / Appendix A: the 3-coloring reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_reduction_check
+
+
+@pytest.mark.paper_artifact("theorem 5.1 / appendix A")
+def test_bench_reduction_check(benchmark, show_result):
+    result = benchmark.pedantic(run_reduction_check, rounds=1, iterations=1)
+    show_result(result)
+    colorable_rows = [row for row in result.rows if row["3-colorable"]]
+    assert colorable_rows, "the graph family must contain 3-colorable members"
+    assert all(row["refinement reaches threshold 1"] for row in colorable_rows)
+    assert any(not row["3-colorable"] for row in result.rows)

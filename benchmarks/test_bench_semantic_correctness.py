@@ -1,0 +1,38 @@
+"""Benchmark E9 — Section 7.4: recovering Drug Companies vs Sultans from a mixed dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("section 7.4")
+def test_bench_semantic_correctness(benchmark, show_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "semantic_correctness",
+            n_drug_companies=450,
+            n_sultans=400,
+            seed=41,
+            step=0.02,
+            solver_time_limit=60.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_result(result)
+
+    by_rule = {row["rule"]: row for row in result.rows}
+    plain = by_rule["Cov"]
+    modified = by_rule["Cov ignoring syntax properties"]
+
+    # Paper shape (plain Cov: 74.6% accuracy, 61.4% precision, 100% recall;
+    # modified Cov: 82.1% / 69.2% / 100%): recovery is good but imperfect
+    # with the plain rule, recall stays (near) perfect, and ignoring the
+    # RDF-syntax properties does not hurt — in the paper it helps.
+    assert plain["recall"] >= 0.95
+    assert plain["accuracy"] >= 0.6
+    assert modified["recall"] >= 0.95
+    assert modified["accuracy"] >= plain["accuracy"] - 1e-9
+    assert modified["precision"] >= plain["precision"] - 1e-9

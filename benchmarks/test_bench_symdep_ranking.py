@@ -1,0 +1,25 @@
+"""Benchmark E5 — Table 2: the σSymDep ranking of DBpedia Persons property pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_symdep_ranking
+
+
+@pytest.mark.paper_artifact("table 2")
+def test_bench_symdep_ranking(benchmark, show_result):
+    result = benchmark.pedantic(
+        lambda: run_symdep_ranking(n_subjects=20_000), rounds=1, iterations=1
+    )
+    show_result(result)
+    top = [row for row in result.rows if row["end"] == "top"]
+    bottom = [row for row in result.rows if row["end"] == "bottom"]
+    # Paper shape: the name/givenName/surName pairs top the ranking, every
+    # bottom pair involves deathPlace or description, and the two ends are
+    # separated by a wide margin.
+    top_properties = {row["p1"] for row in top} | {row["p2"] for row in top}
+    assert {"name", "givenName", "surName"} <= top_properties
+    assert all({"deathPlace", "description"} & {row["p1"], row["p2"]} for row in bottom)
+    assert min(row["SymDep"] for row in top) > 0.5
+    assert max(row["SymDep"] for row in bottom) < 0.2

@@ -1,0 +1,38 @@
+"""Benchmark E7 — Figure 7: WordNet Nouns, lowest k for a fixed threshold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("figure 7")
+def test_bench_wordnet_lowest_k(benchmark, show_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "figure7",
+            n_subjects=15_000,
+            cov_theta=0.9,
+            sim_theta=0.98,
+            cov_max_signatures=24,
+            sim_max_signatures=12,
+            solver_time_limit=60.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_result(result)
+
+    by_rule = {row["rule"]: row for row in result.rows}
+    cov_row, sim_row = by_rule["Cov"], by_rule["Sim"]
+
+    # Paper shape: under Cov the lowest k is a large fraction of the number
+    # of signatures (k = 31 of 53 in the paper — WordNet Nouns is already a
+    # fine-grained sort), while under Sim a handful of sorts suffices
+    # (k = 4) even at the higher 0.98 threshold.
+    assert cov_row["lowest k"] / cov_row["signatures"] > 0.3
+    assert sim_row["lowest k"] <= 8
+    assert cov_row["lowest k"] > sim_row["lowest k"]
+    assert cov_row["min sigma"] >= 0.9 - 1e-9
+    assert sim_row["min sigma"] >= 0.98 - 1e-9

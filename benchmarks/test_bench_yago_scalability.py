@@ -1,0 +1,44 @@
+"""Benchmark E8 — Figure 8: scalability of the ILP solution over a YAGO-like sort sample."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("figure 8")
+def test_bench_yago_scalability(benchmark, show_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "figure8",
+            n_sorts=25,
+            max_signatures=36,
+            max_properties=18,
+            step=0.05,
+            max_probes=6,
+            solver_time_limit=20.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_result(result)
+
+    by_quantity = {row["quantity"]: row for row in result.rows}
+    signature_fit = by_quantity["runtime vs #signatures (power-law exponent)"]
+    property_fit = by_quantity["runtime vs #properties (exponential rate)"]
+    subject_fit = by_quantity["runtime vs #subjects (power-law exponent, expect ~0)"]
+
+    # Paper shape: runtime grows with the number of signatures (positive
+    # power-law exponent; paper fits 2.53) and with the number of properties
+    # (positive exponential rate; paper fits 0.28), and is essentially flat
+    # in the number of subjects.  Absolute exponents depend on the backend
+    # and sample scale, so only signs / rough magnitudes are asserted.
+    assert signature_fit["measured"] > 0.3
+    assert property_fit["measured"] > 0.0
+    assert not math.isnan(subject_fit["measured"])
+    assert abs(subject_fit["measured"]) < signature_fit["measured"]
+    # The histograms (right panels of Figure 8) cover the whole sample.
+    assert len(result.figures) == 2

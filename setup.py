@@ -1,0 +1,9 @@
+"""Setuptools shim so the package can be installed in environments without wheel.
+
+All metadata lives in pyproject.toml; this file only exists to support
+``python setup.py develop`` / legacy editable installs in offline
+environments where PEP 660 editable builds are unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of *A Principled Approach to Bridging the Gap
+between Graph Data and their Schemas* (Arenas, Díaz, Fokoue,
+Kementsietsidis, Srinivas — VLDB 2014).
+
+The package provides:
+
+* an RDF substrate (:mod:`repro.rdf`): triples, an indexed in-memory graph,
+  N-Triples I/O and sort extraction;
+* the property-structure view and signature tables (:mod:`repro.matrix`);
+* the structuredness rule language (:mod:`repro.rules`) with a parser, a
+  reference semantics, a constraint-propagation evaluator and
+  signature-level counting;
+* closed-form structuredness functions (:mod:`repro.functions`):
+  σCov, σSim, σDep, σSymDep;
+* an ILP modelling layer with HiGHS and branch-and-bound backends
+  (:mod:`repro.ilp`);
+* the sort-refinement core (:mod:`repro.core`): the ILP encoding, the
+  decision procedure, highest-θ / lowest-k searches and a greedy baseline;
+* the NP-hardness reduction from 3-coloring (:mod:`repro.reduction`);
+* synthetic stand-ins for the paper's datasets (:mod:`repro.datasets`) and
+  an experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro.datasets import dbpedia_persons_table
+>>> from repro.functions import coverage, similarity
+>>> from repro.rules import coverage as coverage_rule
+>>> from repro.core import highest_theta_refinement
+>>> persons = dbpedia_persons_table(n_subjects=5_000)
+>>> coverage(persons), similarity(persons)      # doctest: +SKIP
+(0.54, 0.78)
+>>> result = highest_theta_refinement(persons, coverage_rule(), k=2)  # doctest: +SKIP
+>>> result.refinement.sizes                     # doctest: +SKIP
+(3301, 1699)
+"""
+
+from repro.exceptions import (
+    DatasetError,
+    EvaluationError,
+    ILPError,
+    InfeasibleError,
+    ParseError,
+    RDFError,
+    RefinementError,
+    ReproError,
+    RuleError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "RDFError",
+    "ParseError",
+    "RuleError",
+    "EvaluationError",
+    "ILPError",
+    "InfeasibleError",
+    "RefinementError",
+    "DatasetError",
+]

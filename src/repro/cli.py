@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+Examples
+--------
+Evaluate structuredness functions on an N-Triples file::
+
+    repro evaluate data.nt --sort http://xmlns.com/foaf/0.1/Person
+
+Evaluate a custom rule::
+
+    repro evaluate data.nt --rule "c = c -> val(c) = 1"
+
+Find the highest-θ refinement with k sorts::
+
+    repro refine data.nt --rule-name Cov -k 2
+
+Run a paper experiment::
+
+    repro experiment table1
+    repro experiment figure4 --param n_subjects=5000
+
+List the available experiments::
+
+    repro experiment --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.functions import (
+    coverage,
+    coverage_function,
+    function_from_rule,
+    similarity,
+    similarity_function,
+)
+from repro.matrix.horizontal import render_signature_table
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.ntriples import load_ntriples
+from repro.rules import coverage as coverage_rule
+from repro.rules import similarity as similarity_rule
+from repro.rules.parser import parse_rule
+from repro.core.search import highest_theta_refinement, lowest_k_refinement
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RDF structuredness functions and ILP-based sort refinement (VLDB 2014 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate structuredness of an N-Triples file")
+    evaluate.add_argument("path", help="path to an N-Triples file")
+    evaluate.add_argument("--sort", help="restrict to subjects declared of this rdf:type")
+    evaluate.add_argument("--rule", help="a rule in the concrete syntax (default: report Cov and Sim)")
+    evaluate.add_argument("--figure", action="store_true", help="also print the signature-view figure")
+
+    refine = subparsers.add_parser("refine", help="compute a sort refinement of an N-Triples file")
+    refine.add_argument("path", help="path to an N-Triples file")
+    refine.add_argument("--sort", help="restrict to subjects declared of this rdf:type")
+    refine.add_argument("--rule", help="a rule in the concrete syntax")
+    refine.add_argument(
+        "--rule-name", choices=["Cov", "Sim"], default="Cov", help="a built-in rule (ignored when --rule is given)"
+    )
+    refine.add_argument("-k", type=int, default=None, help="fixed k: search for the highest theta")
+    refine.add_argument("--theta", type=float, default=None, help="fixed theta: search for the lowest k")
+    refine.add_argument("--step", type=float, default=0.01, help="theta search step (default 0.01)")
+    refine.add_argument("--time-limit", type=float, default=120.0, help="per-ILP time limit in seconds")
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("experiment_id", nargs="?", help="experiment id (see --list)")
+    experiment.add_argument("--list", action="store_true", help="list available experiments")
+    experiment.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        help="experiment parameter override, e.g. --param n_subjects=5000 (repeatable)",
+    )
+    return parser
+
+
+def _load_table(path: str, sort: Optional[str]) -> SignatureTable:
+    graph = load_ntriples(path)
+    if sort:
+        graph = graph.sort_subgraph(sort)
+    return SignatureTable.from_graph(graph)
+
+
+def _parse_params(raw: List[str]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for item in raw:
+        if "=" not in item:
+            raise SystemExit(f"--param expects key=value, got {item!r}")
+        key, value = item.split("=", 1)
+        parsed: object
+        try:
+            parsed = int(value)
+        except ValueError:
+            try:
+                parsed = float(value)
+            except ValueError:
+                if value.lower() in ("true", "false"):
+                    parsed = value.lower() == "true"
+                else:
+                    parsed = value
+        params[key.strip()] = parsed
+    return params
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    table = _load_table(args.path, args.sort)
+    print(
+        f"{table.name or args.path}: {table.n_subjects} subjects, "
+        f"{table.n_properties} properties, {table.n_signatures} signatures"
+    )
+    if args.rule:
+        rule = parse_rule(args.rule)
+        value = function_from_rule(rule)(table)
+        print(f"sigma[{args.rule}] = {value:.4f}")
+    else:
+        print(f"Cov = {coverage(table):.4f}")
+        print(f"Sim = {similarity(table):.4f}")
+    if args.figure:
+        print(render_signature_table(table))
+    return 0
+
+
+def _command_refine(args: argparse.Namespace) -> int:
+    table = _load_table(args.path, args.sort)
+    if args.rule:
+        rule = parse_rule(args.rule)
+        function = function_from_rule(rule)
+    elif args.rule_name == "Sim":
+        rule, function = similarity_rule(), similarity_function()
+    else:
+        rule, function = coverage_rule(), coverage_function()
+
+    if (args.k is None) == (args.theta is None):
+        raise SystemExit("specify exactly one of -k (highest theta) or --theta (lowest k)")
+    if args.k is not None:
+        search = highest_theta_refinement(
+            table, rule, k=args.k, step=args.step, solver_time_limit=args.time_limit
+        )
+        print(f"highest theta for k = {args.k}: {search.theta:.4f} ({search.n_probes} ILP probes)")
+    else:
+        search = lowest_k_refinement(
+            table, rule, theta=args.theta, solver_time_limit=args.time_limit
+        )
+        print(f"lowest k for theta = {args.theta}: {search.k} ({search.n_probes} ILP probes)")
+    print(search.refinement.summary(function))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments, run_experiment
+
+    if args.list or not args.experiment_id:
+        print("available experiments:")
+        for experiment_id in sorted(all_experiments()):
+            print(f"  {experiment_id}")
+        return 0
+    params = _parse_params(args.param)
+    result = run_experiment(args.experiment_id, **params)
+    print(result.to_text())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "evaluate":
+        return _command_evaluate(args)
+    if args.command == "refine":
+        return _command_refine(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

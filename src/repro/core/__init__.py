@@ -1,0 +1,33 @@
+"""The paper's primary contribution: ILP-based sort refinement."""
+
+from repro.core.decision import (
+    RefinementDecision,
+    decide_sort_refinement,
+    exists_sort_refinement,
+)
+from repro.core.encoder import EncodedInstance, SortRefinementEncoder, to_fraction
+from repro.core.greedy import GreedyRefiner
+from repro.core.refinement import ImplicitSort, SortRefinement, refinement_from_assignment
+from repro.core.search import (
+    SearchResult,
+    SearchStep,
+    highest_theta_refinement,
+    lowest_k_refinement,
+)
+
+__all__ = [
+    "ImplicitSort",
+    "SortRefinement",
+    "refinement_from_assignment",
+    "SortRefinementEncoder",
+    "EncodedInstance",
+    "to_fraction",
+    "RefinementDecision",
+    "decide_sort_refinement",
+    "exists_sort_refinement",
+    "SearchResult",
+    "SearchStep",
+    "highest_theta_refinement",
+    "lowest_k_refinement",
+    "GreedyRefiner",
+]

@@ -1,0 +1,360 @@
+"""The ILP encoding of ``ExistsSortRefinement(r)`` (Section 6).
+
+Given a rule ``r = ϕ1 ↦ ϕ2``, a signature table for the dataset ``D``, a
+threshold ``θ = θ1/θ2`` and a maximum number of implicit sorts ``k``, the
+encoder produces an ILP model with:
+
+* ``X_{i,µ} ∈ {0,1}`` — signature ``µ`` is placed in implicit sort ``i``;
+* ``U_{i,p} ∈ {0,1}`` — implicit sort ``i`` uses property ``p``;
+* ``T_{i,τ} ∈ {0,1}`` — the rough variable assignment ``τ`` is *consistent*
+  in implicit sort ``i`` (all its signatures and properties are present);
+
+and the constraints of Section 6.2:
+
+1. every signature is assigned to exactly one implicit sort;
+2. ``U_{i,p}`` is 1 exactly when some signature with ``p`` in its support is
+   placed in sort ``i``;
+3. ``T_{i,τ}`` is 1 exactly when every signature and property mentioned by
+   ``τ`` is present in sort ``i`` (the standard 2-constraint AND
+   linearisation);
+4. the threshold constraint
+   ``θ2 · Σ_τ count(ϕ1 ∧ ϕ2, τ, M) · T_{i,τ}  ≥  θ1 · Σ_τ count(ϕ1, τ, M) · T_{i,τ}``
+   for every implicit sort ``i``;
+5. (optionally) the symmetry-breaking hash constraints of Section 6.3.
+
+Implementation notes (the "implementation details" of the paper, §6.3, plus
+two engineering refinements documented in DESIGN.md):
+
+* rough assignments with ``count(ϕ1, τ, M) = 0`` are never materialised —
+  they cannot influence either side of the threshold constraint;
+* rough assignments that mention the same *set* of (signature, property)
+  pairs are merged into a single T variable whose coefficients are the
+  summed counts — their T variables would be forced equal anyway;
+* the hash exponent is capped (default 2^20) to avoid the numerical
+  instability the paper reports for large signature counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.exceptions import RefinementError
+from repro.functions.structuredness import Dataset, as_signature_table
+from repro.ilp.model import Constraint, LinExpr, Model, Variable
+from repro.ilp.solution import Solution
+from repro.matrix.signatures import Signature, SignatureTable, signature_key
+from repro.rdf.terms import URI
+from repro.rules.ast import Rule
+from repro.rules.counting import enumerate_rough_assignments
+from repro.core.refinement import SortRefinement, refinement_from_assignment
+
+__all__ = ["EncodedInstance", "SortRefinementEncoder", "to_fraction"]
+
+#: A rough-assignment key: the (signature, property) pairs the case mentions.
+#: When equivalent cases are grouped the key is the sorted tuple of *distinct*
+#: pairs; otherwise it is the per-variable tuple of pairs in variable order.
+CaseKey = Tuple[Tuple[Signature, URI], ...]
+
+
+def _pair_sort_key(pair: Tuple[Signature, URI]) -> Tuple[Tuple[str, ...], str]:
+    signature, prop = pair
+    return (signature_key(signature), str(prop))
+
+
+def to_fraction(theta: Union[float, int, str, Fraction], max_denominator: int = 10_000) -> Fraction:
+    """Normalise a threshold to an exact fraction ``θ1/θ2``.
+
+    The paper requires θ to be rational precisely so the threshold
+    constraint can be written with integer coefficients; floats are
+    converted via ``limit_denominator`` so that e.g. ``0.9`` really means
+    ``9/10`` rather than its binary approximation.
+    """
+    if isinstance(theta, Fraction):
+        fraction = theta
+    elif isinstance(theta, int):
+        fraction = Fraction(theta)
+    elif isinstance(theta, str):
+        fraction = Fraction(theta)
+    else:
+        fraction = Fraction(theta).limit_denominator(max_denominator)
+    if fraction < 0 or fraction > 1:
+        raise RefinementError(f"threshold must lie in [0, 1], got {theta!r}")
+    return fraction
+
+
+@dataclass
+class EncodedInstance:
+    """An encoded ILP instance together with its variable dictionaries."""
+
+    model: Model
+    table: SignatureTable
+    rule: Rule
+    k: int
+    theta: Fraction
+    x_vars: Dict[Tuple[int, Signature], Variable]
+    u_vars: Dict[Tuple[int, URI], Variable]
+    t_vars: Dict[Tuple[int, CaseKey], Variable]
+    case_counts: Dict[CaseKey, Tuple[int, int]]
+    encode_time: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_cases(self) -> int:
+        """Number of grouped rough assignments (per implicit sort)."""
+        return len(self.case_counts)
+
+    def statistics(self) -> Dict[str, object]:
+        """Model-size statistics plus encoding metadata."""
+        stats: Dict[str, object] = dict(self.model.statistics())
+        stats.update(
+            {
+                "signatures": self.table.n_signatures,
+                "properties": self.table.n_properties,
+                "cases": self.n_cases,
+                "k": self.k,
+                "theta": float(self.theta),
+                "encode_time": self.encode_time,
+            }
+        )
+        return stats
+
+    def decode(self, solution: Solution) -> SortRefinement:
+        """Turn a feasible ILP solution into a :class:`SortRefinement`."""
+        solution.require_feasible()
+        assignment: Dict[Signature, int] = {}
+        for (index, signature), variable in self.x_vars.items():
+            if solution.int_value(variable) == 1:
+                if signature in assignment:
+                    raise RefinementError(
+                        f"solver assigned signature {signature_key(signature)} to two sorts"
+                    )
+                assignment[signature] = index
+        missing = [s for s in self.table.signatures if s not in assignment]
+        if missing:
+            raise RefinementError(
+                f"solver left {len(missing)} signatures unassigned (solution is not integral?)"
+            )
+        return refinement_from_assignment(
+            self.table,
+            assignment,
+            rule_name=self.rule.name or self.rule.to_text(),
+            threshold=float(self.theta),
+            metadata={
+                "solver_status": solution.status,
+                "solver_backend": solution.backend,
+                "solve_time": solution.solve_time,
+                "k_requested": self.k,
+            },
+        )
+
+
+class SortRefinementEncoder:
+    """Builds ILP instances for ``ExistsSortRefinement(r)``.
+
+    Parameters
+    ----------
+    rule:
+        The structuredness rule ``r``.
+    symmetry_breaking:
+        How to break the permutation symmetry between implicit sorts:
+
+        * ``"hash"`` (or ``True``) — the paper's Section 6.3 constraints
+          ``hash(i) ≤ hash(i+1)`` with capped powers of two.  Helps CPLEX
+          according to the paper, but the large, heavily tied coefficients
+          can slow HiGHS down dramatically on larger ``k``.
+        * ``"anchor"`` (the default) — pin the largest signature set to the
+          first implicit sort.  Removes a factor ``k`` of the symmetry with
+          a single tiny constraint and never hurts.
+        * ``"none"`` (or ``False``) — no symmetry breaking.
+    hash_exponent_cap:
+        Largest exponent used in the hash (larger signatures collide); keeps
+        coefficients small enough for double-precision solvers.
+    group_equivalent_cases:
+        Merge rough assignments using the same set of (signature, property)
+        pairs into one T variable (exact reformulation, fewer variables).
+    """
+
+    def __init__(
+        self,
+        rule: Rule,
+        symmetry_breaking: Union[str, bool] = "anchor",
+        hash_exponent_cap: int = 20,
+        group_equivalent_cases: bool = True,
+        exact_threshold_coefficients: bool = False,
+    ):
+        self.rule = rule
+        if symmetry_breaking is True:
+            symmetry_breaking = "hash"
+        elif symmetry_breaking is False:
+            symmetry_breaking = "none"
+        if symmetry_breaking not in ("hash", "anchor", "none"):
+            raise RefinementError(
+                f"symmetry_breaking must be 'hash', 'anchor' or 'none', got {symmetry_breaking!r}"
+            )
+        self.symmetry_breaking = symmetry_breaking
+        self.hash_exponent_cap = hash_exponent_cap
+        self.group_equivalent_cases = group_equivalent_cases
+        self.exact_threshold_coefficients = exact_threshold_coefficients
+        self._case_cache: Dict[int, Dict[CaseKey, Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Rough-assignment coefficients
+    # ------------------------------------------------------------------ #
+    def compute_cases(self, table: SignatureTable) -> Dict[CaseKey, Tuple[int, int]]:
+        """Compute ``count(ϕ1, τ, M)`` / ``count(ϕ1 ∧ ϕ2, τ, M)`` per grouped case.
+
+        Results are cached per signature table (the θ-search re-encodes the
+        same table many times with different thresholds).
+        """
+        cache_key = id(table)
+        if cache_key in self._case_cache:
+            return self._case_cache[cache_key]
+        grouped: Dict[CaseKey, List[int]] = {}
+        for case in enumerate_rough_assignments(self.rule, table):
+            if self.group_equivalent_cases:
+                key: CaseKey = tuple(
+                    sorted(set(case.assignment.values()), key=_pair_sort_key)
+                )
+            else:
+                key = tuple(case.assignment[v] for v in sorted(case.assignment))
+            bucket = grouped.setdefault(key, [0, 0])
+            bucket[0] += case.total
+            bucket[1] += case.favourable
+        cases = {key: (total, favourable) for key, (total, favourable) in grouped.items()}
+        self._case_cache[cache_key] = cases
+        return cases
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(
+        self,
+        dataset: Dataset,
+        k: int,
+        theta: Union[float, Fraction, str],
+    ) -> EncodedInstance:
+        """Encode ``ExistsSortRefinement(r)`` for the dataset, ``k`` and ``θ``."""
+        if k < 1:
+            raise RefinementError("the number of implicit sorts k must be at least 1")
+        table = as_signature_table(dataset)
+        theta_fraction = to_fraction(theta)
+        started = time.perf_counter()
+        cases = self.compute_cases(table)
+
+        model = Model(name=f"sort-refinement[{self.rule.name or 'rule'}, k={k}, theta={theta_fraction}]")
+        signatures = table.signatures
+        properties = table.properties
+        supports: Dict[Signature, FrozenSet[URI]] = {sig: sig for sig in signatures}
+        property_to_signatures: Dict[URI, List[Signature]] = {p: [] for p in properties}
+        for sig in signatures:
+            for p in sig:
+                property_to_signatures[p].append(sig)
+
+        x_vars: Dict[Tuple[int, Signature], Variable] = {}
+        u_vars: Dict[Tuple[int, URI], Variable] = {}
+        t_vars: Dict[Tuple[int, CaseKey], Variable] = {}
+
+        for i in range(k):
+            for s_index, sig in enumerate(signatures):
+                x_vars[(i, sig)] = model.add_binary(f"X[{i},{s_index}]")
+            for p in properties:
+                u_vars[(i, p)] = model.add_binary(f"U[{i},{p.local_name}]")
+            for c_index, key in enumerate(cases):
+                t_vars[(i, key)] = model.add_binary(f"T[{i},{c_index}]")
+
+        # (1) every signature lands in exactly one implicit sort
+        for sig in signatures:
+            expr = LinExpr.sum(x_vars[(i, sig)] for i in range(k))
+            model.add_constraint(
+                Constraint(expr, lower=1.0, upper=1.0), name=f"assign[{signature_key(sig)[:1]}]"
+            )
+
+        # (2) U_{i,p} tracks whether sort i uses property p
+        for i in range(k):
+            for sig in signatures:
+                for p in supports[sig]:
+                    model.add_constraint(x_vars[(i, sig)] <= u_vars[(i, p)])
+            for p in properties:
+                providers = property_to_signatures[p]
+                if providers:
+                    total = LinExpr.sum(x_vars[(i, sig)] for sig in providers)
+                    model.add_constraint(u_vars[(i, p)] <= total)
+                else:
+                    model.add_constraint(u_vars[(i, p)] <= 0)
+
+        # (3) T_{i,τ} is the AND of the X/U literals the case mentions
+        for i in range(k):
+            for key in cases:
+                literals: List[Variable] = []
+                for sig, prop in key:
+                    literals.append(x_vars[(i, sig)])
+                    literals.append(u_vars[(i, prop)])
+                # Deduplicate literals: a case may reuse a signature or property.
+                unique_literals = list(dict.fromkeys(literals))
+                count = len(unique_literals)
+                t_var = t_vars[(i, key)]
+                literal_sum = LinExpr.sum(unique_literals)
+                model.add_constraint(literal_sum <= t_var + (count - 1))
+                model.add_constraint(count * t_var <= literal_sum)
+
+        # (4) the threshold constraint per implicit sort.
+        #
+        # The paper's form uses the integer coefficients θ2·fav − θ1·total.
+        # For thresholds with large denominators (e.g. the *exact* σ_r(D) of
+        # a big dataset used as the starting point of the θ-search) those
+        # integers overflow the double precision a MILP solver works in, so
+        # by default the constraint is written with the equivalent float
+        # coefficients fav − θ·total, whose magnitude stays bounded by the
+        # largest count.  Set ``exact_threshold_coefficients=True`` to use
+        # the literal integer form (fine for small instances / exact tests).
+        theta1, theta2 = theta_fraction.numerator, theta_fraction.denominator
+        theta_float = float(theta_fraction)
+        for i in range(k):
+            expr = LinExpr()
+            for key, (total, favourable) in cases.items():
+                if self.exact_threshold_coefficients:
+                    coefficient: float = theta2 * favourable - theta1 * total
+                else:
+                    coefficient = favourable - theta_float * total
+                if coefficient != 0:
+                    expr = expr + coefficient * t_vars[(i, key)]
+            model.add_constraint(expr >= 0, name=f"threshold[{i}]")
+
+        # (5) symmetry breaking between the k implicit sorts.
+        if self.symmetry_breaking == "hash" and k > 1:
+            # The paper's Section 6.3 form: hash(i) <= hash(i+1).
+            hash_expressions = []
+            for i in range(k):
+                expr = LinExpr()
+                for j, sig in enumerate(signatures):
+                    weight = 2 ** min(j, self.hash_exponent_cap)
+                    expr = expr + weight * x_vars[(i, sig)]
+                hash_expressions.append(expr)
+            for i in range(k - 1):
+                model.add_constraint(hash_expressions[i] <= hash_expressions[i + 1])
+        elif self.symmetry_breaking == "anchor" and k > 1 and signatures:
+            # Pin the largest signature set (the first, tables are sorted by
+            # size) to the first implicit sort.
+            anchor = x_vars[(0, signatures[0])]
+            model.add_constraint(Constraint(LinExpr({anchor: 1.0}), lower=1, upper=1))
+
+        encode_time = time.perf_counter() - started
+        return EncodedInstance(
+            model=model,
+            table=table,
+            rule=self.rule,
+            k=k,
+            theta=theta_fraction,
+            x_vars=x_vars,
+            u_vars=u_vars,
+            t_vars=t_vars,
+            case_counts=cases,
+            encode_time=encode_time,
+            metadata={
+                "symmetry_breaking": self.symmetry_breaking,
+                "group_equivalent_cases": self.group_equivalent_cases,
+            },
+        )

@@ -1,0 +1,149 @@
+"""A greedy agglomerative baseline for sort refinement.
+
+The paper's exact method is the ILP encoding; related work (property-table
+clustering, frequent-itemset mining) uses heuristics instead.  This module
+provides a simple, fast, *non-exact* baseline:
+
+* start with every signature set in its own implicit sort (such singleton
+  sorts have σ = 1 for Cov/Sim-style rules);
+* repeatedly merge the pair of sorts whose merge keeps the minimum
+  structuredness highest;
+* stop when the requested number of sorts ``k`` is reached
+  (:meth:`GreedyRefiner.refine_k`) or when no merge can keep every sort at
+  or above the threshold θ (:meth:`GreedyRefiner.refine_threshold`).
+
+It is used (a) as a comparison point in the ablation benchmarks, showing
+what exactness buys, and (b) as a fallback for instances that are too large
+for the MILP backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.refinement import SortRefinement, refinement_from_assignment
+from repro.exceptions import RefinementError
+from repro.functions.structuredness import Dataset, StructurednessFunction, as_signature_table
+from repro.matrix.signatures import Signature, SignatureTable
+
+__all__ = ["GreedyRefiner"]
+
+#: A structuredness evaluator usable by the greedy refiner: any callable
+#: from a signature table to a float in [0, 1].
+Evaluator = Callable[[SignatureTable], float]
+
+
+class GreedyRefiner:
+    """Greedy agglomerative refinement driven by a structuredness function.
+
+    Parameters
+    ----------
+    function:
+        A :class:`~repro.functions.structuredness.StructurednessFunction`
+        or any callable mapping a signature table to a value in [0, 1].
+    """
+
+    def __init__(self, function: Evaluator):
+        self.function = function
+        self._sigma_cache: Dict[Tuple[Signature, ...], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _sigma_of(self, parent: SignatureTable, signatures: Sequence[Signature]) -> float:
+        key = tuple(sorted(signatures, key=lambda s: sorted(str(p) for p in s)))
+        if key not in self._sigma_cache:
+            self._sigma_cache[key] = float(self.function(parent.select(list(key))))
+        return self._sigma_cache[key]
+
+    def _build_refinement(
+        self,
+        parent: SignatureTable,
+        groups: List[List[Signature]],
+        threshold: Optional[float],
+        elapsed: float,
+        strategy: str,
+    ) -> SortRefinement:
+        assignment = {
+            signature: index for index, group in enumerate(groups) for signature in group
+        }
+        name = getattr(self.function, "name", None) or "greedy"
+        refinement = refinement_from_assignment(
+            parent,
+            assignment,
+            rule_name=f"greedy[{name}]",
+            threshold=threshold,
+            metadata={"strategy": strategy, "elapsed": elapsed, "exact": False},
+        )
+        return refinement
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def refine_k(self, dataset: Dataset, k: int) -> SortRefinement:
+        """Merge signature sets down to at most ``k`` implicit sorts.
+
+        At every step the merge that keeps the *minimum* per-sort
+        structuredness as high as possible is applied.
+        """
+        if k < 1:
+            raise RefinementError("k must be at least 1")
+        parent = as_signature_table(dataset)
+        started = time.perf_counter()
+        groups: List[List[Signature]] = [[signature] for signature in parent.signatures]
+        while len(groups) > k:
+            best_pair: Optional[Tuple[int, int]] = None
+            best_min_sigma = -1.0
+            # Structuredness of the untouched groups does not change, so the
+            # post-merge minimum is min(merged sigma, min over others).
+            sigmas = [self._sigma_of(parent, group) for group in groups]
+            for i in range(len(groups)):
+                for j in range(i + 1, len(groups)):
+                    merged_sigma = self._sigma_of(parent, groups[i] + groups[j])
+                    others = [s for idx, s in enumerate(sigmas) if idx not in (i, j)]
+                    candidate_min = min([merged_sigma] + others) if others else merged_sigma
+                    if candidate_min > best_min_sigma:
+                        best_min_sigma = candidate_min
+                        best_pair = (i, j)
+            if best_pair is None:  # pragma: no cover - len(groups) > k >= 1 implies pairs exist
+                break
+            i, j = best_pair
+            merged = groups[i] + groups[j]
+            groups = [g for idx, g in enumerate(groups) if idx not in (i, j)] + [merged]
+        elapsed = time.perf_counter() - started
+        return self._build_refinement(parent, groups, None, elapsed, strategy="refine_k")
+
+    def refine_threshold(self, dataset: Dataset, theta: float) -> SortRefinement:
+        """Merge signature sets while every implicit sort keeps ``σ ≥ θ``.
+
+        The result is a (not necessarily minimal) refinement with threshold
+        θ; the exact minimum k is what the ILP search computes.
+        """
+        if not 0 <= theta <= 1:
+            raise RefinementError("theta must lie in [0, 1]")
+        parent = as_signature_table(dataset)
+        started = time.perf_counter()
+        groups: List[List[Signature]] = [[signature] for signature in parent.signatures]
+
+        # If even singleton sorts fall below theta there is nothing we can do
+        # better than reporting them as they are; callers can inspect
+        # min_structuredness to detect this.
+        improved = True
+        while improved and len(groups) > 1:
+            improved = False
+            best_pair: Optional[Tuple[int, int]] = None
+            best_sigma = -1.0
+            for i in range(len(groups)):
+                for j in range(i + 1, len(groups)):
+                    merged_sigma = self._sigma_of(parent, groups[i] + groups[j])
+                    if merged_sigma >= theta and merged_sigma > best_sigma:
+                        best_sigma = merged_sigma
+                        best_pair = (i, j)
+            if best_pair is not None:
+                i, j = best_pair
+                merged = groups[i] + groups[j]
+                groups = [g for idx, g in enumerate(groups) if idx not in (i, j)] + [merged]
+                improved = True
+        elapsed = time.perf_counter() - started
+        return self._build_refinement(parent, groups, theta, elapsed, strategy="refine_threshold")

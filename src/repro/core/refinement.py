@@ -1,0 +1,306 @@
+"""Sort refinements: entity-preserving partitions closed under signatures.
+
+Definition 4.2 of the paper: given a structuredness function σ and a
+threshold θ, a *σ-sort refinement of D with threshold θ* is an entity
+preserving partition ``{D_1, ..., D_n}`` of ``D`` such that every part has
+``σ(D_i) ≥ θ`` and every part is closed under signatures (structurally
+identical subjects are never separated).
+
+Because the parts must be closed under signatures, a refinement is fully
+determined by a mapping *signature → implicit sort index*.  That is the
+representation used here; expansion back to subject-level partitions of a
+:class:`~repro.matrix.property_matrix.PropertyMatrix` or an
+:class:`~repro.rdf.graph.RDFGraph` is provided for callers that need the
+actual data partition (e.g. to store each implicit sort in its own
+property table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import RefinementError
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import Signature, SignatureTable, signature_key
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import URI
+
+__all__ = ["ImplicitSort", "SortRefinement", "refinement_from_assignment"]
+
+
+@dataclass
+class ImplicitSort:
+    """One part of a sort refinement.
+
+    Attributes
+    ----------
+    index:
+        Position of the implicit sort inside its refinement (0-based).
+    signatures:
+        The signatures assigned to this implicit sort.
+    table:
+        The signature sub-table of the part.  Its property universe is the
+        union of the supports of its signatures — i.e. the properties the
+        implicit sort *uses* (the paper's ``U_{i,p} = 1`` columns).
+    """
+
+    index: int
+    signatures: Tuple[Signature, ...]
+    table: SignatureTable
+
+    @property
+    def n_subjects(self) -> int:
+        """Number of subjects (entities) in the implicit sort."""
+        return self.table.n_subjects
+
+    @property
+    def n_signatures(self) -> int:
+        """Number of signature sets in the implicit sort."""
+        return len(self.signatures)
+
+    @property
+    def used_properties(self) -> Tuple[URI, ...]:
+        """Properties used by at least one subject of the implicit sort."""
+        return self.table.properties
+
+    def structuredness(self, function: Callable[[SignatureTable], float]) -> float:
+        """Evaluate a structuredness function on this implicit sort."""
+        return float(function(self.table))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ImplicitSort #{self.index}: {self.n_subjects} subjects, "
+            f"{self.n_signatures} signatures, {len(self.used_properties)} properties>"
+        )
+
+
+@dataclass
+class SortRefinement:
+    """A sort refinement of a dataset, represented at the signature level.
+
+    Attributes
+    ----------
+    parent:
+        The signature table of the refined dataset ``D``.
+    sorts:
+        The implicit sorts, each a :class:`ImplicitSort`.
+    rule_name:
+        Display name of the structuredness function/rule used to find it.
+    threshold:
+        The threshold θ that every implicit sort was required to meet
+        (``None`` when the refinement was built by other means).
+    metadata:
+        Free-form extra information (solver status, timings, search trace).
+    """
+
+    parent: SignatureTable
+    sorts: List[ImplicitSort]
+    rule_name: str = ""
+    threshold: Optional[float] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Basic facts
+    # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> int:
+        """Number of (non-empty) implicit sorts."""
+        return len(self.sorts)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Subject counts of the implicit sorts."""
+        return tuple(sort.n_subjects for sort in self.sorts)
+
+    def assignment(self) -> Dict[Signature, int]:
+        """Return the signature -> implicit sort index mapping."""
+        result: Dict[Signature, int] = {}
+        for sort in self.sorts:
+            for signature in sort.signatures:
+                result[signature] = sort.index
+        return result
+
+    def sort_of_signature(self, signature: Signature) -> ImplicitSort:
+        """Return the implicit sort containing ``signature``."""
+        target = frozenset(signature)
+        for sort in self.sorts:
+            if target in sort.signatures:
+                return sort
+        raise RefinementError(f"signature {signature_key(target)} is not part of this refinement")
+
+    def sort_of_subject(self, subject: object) -> ImplicitSort:
+        """Return the implicit sort containing ``subject`` (requires member tracking)."""
+        signature = self.parent.signature_of(subject)
+        return self.sort_of_signature(signature)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`RefinementError` unless this is a valid refinement.
+
+        Checks the three defining conditions at the signature level:
+        the sorts are non-empty, disjoint, and jointly cover every
+        signature of the parent (coverage + disjointness make it an entity
+        preserving partition; working with whole signatures makes it closed
+        under signatures by construction).
+        """
+        seen: Dict[Signature, int] = {}
+        for sort in self.sorts:
+            if not sort.signatures:
+                raise RefinementError(f"implicit sort #{sort.index} is empty")
+            for signature in sort.signatures:
+                if signature in seen:
+                    raise RefinementError(
+                        f"signature {signature_key(signature)} appears in implicit sorts "
+                        f"#{seen[signature]} and #{sort.index}"
+                    )
+                seen[signature] = sort.index
+        missing = set(self.parent.signatures) - set(seen)
+        if missing:
+            raise RefinementError(
+                f"{len(missing)} signatures of the parent dataset are not covered"
+            )
+        extra = set(seen) - set(self.parent.signatures)
+        if extra:
+            raise RefinementError(
+                f"{len(extra)} signatures do not belong to the parent dataset"
+            )
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate()
+        except RefinementError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Structuredness
+    # ------------------------------------------------------------------ #
+    def structuredness(self, function: Callable[[SignatureTable], float]) -> List[float]:
+        """Evaluate a structuredness function on every implicit sort."""
+        return [sort.structuredness(function) for sort in self.sorts]
+
+    def min_structuredness(self, function: Callable[[SignatureTable], float]) -> float:
+        """The smallest per-sort structuredness (what a threshold bounds)."""
+        values = self.structuredness(function)
+        return min(values) if values else 1.0
+
+    def meets_threshold(
+        self, function: Callable[[SignatureTable], float], theta: float, tolerance: float = 1e-9
+    ) -> bool:
+        """Whether every implicit sort satisfies ``σ ≥ θ`` (up to ``tolerance``)."""
+        return self.min_structuredness(function) >= theta - tolerance
+
+    # ------------------------------------------------------------------ #
+    # Expansion back to data partitions
+    # ------------------------------------------------------------------ #
+    def partition_matrix(self, matrix: PropertyMatrix) -> List[PropertyMatrix]:
+        """Split a property matrix into one sub-matrix per implicit sort.
+
+        Rows are routed by their signature; every row of ``matrix`` must
+        have a signature known to the refinement.
+        """
+        groups: Dict[int, List[URI]] = {sort.index: [] for sort in self.sorts}
+        assignment = self.assignment()
+        for subject in matrix.subjects:
+            signature = matrix.signature_of(subject)
+            if signature not in assignment:
+                raise RefinementError(
+                    f"subject {subject} has signature {signature_key(signature)} "
+                    "which is not covered by the refinement"
+                )
+            groups[assignment[signature]].append(subject)
+        return [
+            matrix.select_subjects(groups[sort.index], name=f"{matrix.name}/sort{sort.index}")
+            for sort in self.sorts
+        ]
+
+    def partition_graph(self, graph: RDFGraph, exclude_type: bool = True) -> List[RDFGraph]:
+        """Split an RDF graph into one entity-preserving subgraph per implicit sort."""
+        matrix = PropertyMatrix.from_graph(graph, exclude_type=exclude_type)
+        assignment = self.assignment()
+        groups: Dict[int, List[URI]] = {sort.index: [] for sort in self.sorts}
+        for subject in matrix.subjects:
+            signature = matrix.signature_of(subject)
+            if signature not in assignment:
+                raise RefinementError(
+                    f"subject {subject} has signature {signature_key(signature)} "
+                    "which is not covered by the refinement"
+                )
+            groups[assignment[signature]].append(subject)
+        return [
+            graph.entity_subgraph(groups[sort.index], name=f"{graph.name}/sort{sort.index}")
+            for sort in self.sorts
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def summary(self, function: Optional[Callable[[SignatureTable], float]] = None) -> str:
+        """Return a compact multi-line description of the refinement."""
+        lines = [
+            f"Sort refinement of {self.parent.name or 'dataset'} "
+            f"({self.parent.n_subjects} subjects, {self.parent.n_signatures} signatures)"
+        ]
+        if self.rule_name:
+            lines.append(f"  rule: {self.rule_name}")
+        if self.threshold is not None:
+            lines.append(f"  threshold: {self.threshold:.4f}")
+        for sort in self.sorts:
+            line = (
+                f"  sort {sort.index + 1}: {sort.n_subjects} subjects, "
+                f"{sort.n_signatures} signatures, {len(sort.used_properties)} properties"
+            )
+            if function is not None:
+                line += f", sigma = {sort.structuredness(function):.4f}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SortRefinement k={self.k} of {self.parent.name or 'dataset'}>"
+
+
+def refinement_from_assignment(
+    parent: SignatureTable,
+    assignment: Mapping[Signature, int],
+    rule_name: str = "",
+    threshold: Optional[float] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> SortRefinement:
+    """Build a :class:`SortRefinement` from a signature -> sort index mapping.
+
+    Empty sorts are dropped and the remaining ones re-indexed in order of
+    decreasing subject count (largest implicit sort first, matching how the
+    paper presents its figures).
+    """
+    groups: Dict[int, List[Signature]] = {}
+    for signature in parent.signatures:
+        sig = frozenset(signature)
+        if sig not in assignment:
+            raise RefinementError(
+                f"assignment does not cover signature {signature_key(sig)}"
+            )
+        groups.setdefault(assignment[sig], []).append(sig)
+
+    parts: List[Tuple[List[Signature], SignatureTable]] = []
+    for _original_index, signatures in sorted(groups.items()):
+        table = parent.select(signatures)
+        parts.append((signatures, table))
+    parts.sort(key=lambda item: -item[1].n_subjects)
+
+    sorts = [
+        ImplicitSort(index=i, signatures=tuple(signatures), table=table)
+        for i, (signatures, table) in enumerate(parts)
+    ]
+    refinement = SortRefinement(
+        parent=parent,
+        sorts=sorts,
+        rule_name=rule_name,
+        threshold=threshold,
+        metadata=dict(metadata or {}),
+    )
+    refinement.validate()
+    return refinement

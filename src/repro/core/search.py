@@ -1,0 +1,274 @@
+"""Search strategies on top of the decision procedure (Section 7 set-ups).
+
+The experiments use two complementary formulations:
+
+* **highest θ for a fixed k** — starting from the structuredness of the
+  whole dataset (for which the trivial one-sort refinement is always a
+  witness), increase θ in small steps and keep the last feasible solution.
+  The paper prefers this sequential search over binary search because
+  proving an instance infeasible is vastly more expensive than finding a
+  witness for a feasible one.
+* **lowest k for a fixed θ** — search over k, either upwards from 1
+  (enduring a run of infeasible instances) or downwards from the number of
+  signatures (solving a run of feasible instances), whichever the caller
+  prefers; the paper chooses the direction case by case.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, List, Optional, Union
+
+from repro.core.decision import RefinementDecision, decide_sort_refinement
+from repro.core.encoder import SortRefinementEncoder, to_fraction
+from repro.core.refinement import SortRefinement
+from repro.exceptions import RefinementError
+from repro.functions.structuredness import Dataset, as_signature_table
+from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.rules.ast import Rule
+from repro.rules.counting import sigma_by_signatures_fraction
+
+__all__ = ["SearchStep", "SearchResult", "highest_theta_refinement", "lowest_k_refinement"]
+
+
+@dataclass
+class SearchStep:
+    """One probe of the decision procedure during a search."""
+
+    theta: float
+    k: int
+    feasible: bool
+    solve_time: float
+    status: str
+
+
+@dataclass
+class SearchResult:
+    """The outcome of a refinement search.
+
+    Attributes
+    ----------
+    refinement:
+        The best refinement found (``None`` only if even the first probe
+        failed, which cannot happen for the standard searches).
+    theta:
+        The threshold achieved by ``refinement``.
+    k:
+        The number of implicit sorts of ``refinement``.
+    steps:
+        The full search trace.
+    """
+
+    refinement: Optional[SortRefinement]
+    theta: float
+    k: int
+    steps: List[SearchStep] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def n_probes(self) -> int:
+        """How many ILP instances were solved during the search."""
+        return len(self.steps)
+
+
+def _default_solver(time_limit: Optional[float]) -> ScipyMilpSolver:
+    return ScipyMilpSolver(time_limit=time_limit)
+
+
+def highest_theta_refinement(
+    dataset: Dataset,
+    rule: Rule,
+    k: int,
+    step: float = 0.01,
+    initial_theta: Optional[Union[float, Fraction]] = None,
+    solver: Optional[object] = None,
+    solver_time_limit: Optional[float] = None,
+    max_probes: int = 200,
+    callback: Optional[Callable[[SearchStep], None]] = None,
+) -> SearchResult:
+    """Find (approximately) the largest θ admitting a refinement with ``k`` sorts.
+
+    Implements the sequential search of Section 7: starting from
+    ``θ = σ_r(D)`` (guaranteed feasible via the trivial refinement), the
+    threshold is increased by ``step`` until the ILP becomes infeasible;
+    the last stored solution is returned.
+
+    Parameters
+    ----------
+    dataset, rule, k:
+        As in :func:`repro.core.decision.decide_sort_refinement`.
+    step:
+        The θ increment (the paper uses 0.01).
+    initial_theta:
+        Explicit starting threshold; defaults to σ_r of the whole dataset.
+    solver / solver_time_limit:
+        Backend configuration; a time-limited probe that fails to find a
+        witness is treated as "stop the search" but, like the paper notes,
+        this is not a proof of infeasibility.
+    max_probes:
+        Safety cap on the number of ILP instances solved.
+    callback:
+        Called with every :class:`SearchStep` as it happens (progress bars,
+        logging).
+    """
+    table = as_signature_table(dataset)
+    encoder = SortRefinementEncoder(rule)
+    if solver is None:
+        solver = _default_solver(solver_time_limit)
+    if initial_theta is None:
+        # Start from sigma_r(D) (always feasible via the trivial one-sort
+        # refinement), floored to a 1/10000 grid so that the threshold
+        # fraction stays small and safely below the exact value.
+        exact_sigma = sigma_by_signatures_fraction(rule, table)
+        initial_theta = Fraction(int(exact_sigma * 10_000), 10_000)
+    theta = to_fraction(initial_theta)
+    step_fraction = to_fraction(step)
+    if step_fraction <= 0:
+        raise RefinementError("the theta search step must be positive")
+
+    started = time.perf_counter()
+    best: Optional[RefinementDecision] = None
+    best_theta = theta
+    steps: List[SearchStep] = []
+    probes = 0
+    while probes < max_probes and theta <= 1:
+        decision = decide_sort_refinement(table, rule, theta, k, solver=solver, encoder=encoder)
+        probes += 1
+        search_step = SearchStep(
+            theta=float(theta),
+            k=k,
+            feasible=decision.feasible,
+            solve_time=decision.solve_time,
+            status=decision.solution.status,
+        )
+        steps.append(search_step)
+        if callback is not None:
+            callback(search_step)
+        if not decision.feasible:
+            break
+        best = decision
+        best_theta = theta
+        if theta == 1:
+            break
+        theta = min(Fraction(1), theta + step_fraction)
+    total_time = time.perf_counter() - started
+
+    if best is None or best.refinement is None:
+        raise RefinementError(
+            "the initial threshold was already infeasible; "
+            "use initial_theta <= sigma_r(D) (the default) to guarantee a witness"
+        )
+    refinement = best.refinement
+    refinement.metadata["search"] = "highest_theta"
+    refinement.metadata["probes"] = probes
+    return SearchResult(
+        refinement=refinement,
+        theta=float(best_theta),
+        k=refinement.k,
+        steps=steps,
+        total_time=total_time,
+    )
+
+
+def lowest_k_refinement(
+    dataset: Dataset,
+    rule: Rule,
+    theta: Union[float, Fraction, str],
+    direction: str = "up",
+    k_min: int = 1,
+    k_max: Optional[int] = None,
+    solver: Optional[object] = None,
+    solver_time_limit: Optional[float] = None,
+    callback: Optional[Callable[[SearchStep], None]] = None,
+) -> SearchResult:
+    """Find the smallest ``k`` admitting a refinement with threshold ``θ``.
+
+    Parameters
+    ----------
+    direction:
+        ``"up"`` starts at ``k_min`` and increases k until the first
+        feasible instance (enduring infeasible probes); ``"down"`` starts at
+        ``k_max`` (default: the number of signatures, always feasible
+        because singleton-signature sorts have σ = 1 for the rules used in
+        the paper) and decreases k while instances remain feasible.  The
+        paper reports choosing the direction case by case for efficiency.
+        ``"auto"`` first runs the greedy agglomerative baseline to obtain an
+        upper bound on k, then searches downward from that bound — this way
+        only the final probe is infeasible (infeasible MILP instances are by
+        far the slowest ones, as the paper also observes).
+    """
+    table = as_signature_table(dataset)
+    encoder = SortRefinementEncoder(rule)
+    if solver is None:
+        solver = _default_solver(solver_time_limit)
+    theta_fraction = to_fraction(theta)
+    if k_max is None:
+        k_max = table.n_signatures
+    if k_min < 1 or k_max < k_min:
+        raise RefinementError(f"invalid k range [{k_min}, {k_max}]")
+    if direction not in ("up", "down", "auto"):
+        raise RefinementError("direction must be 'up', 'down' or 'auto'")
+    if direction == "auto":
+        # A greedy upper bound keeps the downward sweep short; fall back to
+        # the full range when the heuristic cannot reach the threshold.
+        from repro.core.greedy import GreedyRefiner
+        from repro.functions.structuredness import best_function_for_rule
+
+        function = best_function_for_rule(rule)
+        greedy = GreedyRefiner(function).refine_threshold(table, float(theta_fraction))
+        if greedy.min_structuredness(function) >= float(theta_fraction) - 1e-12:
+            k_max = min(k_max, max(k_min, greedy.k))
+        direction = "down"
+
+    started = time.perf_counter()
+    steps: List[SearchStep] = []
+    best: Optional[RefinementDecision] = None
+    best_k: Optional[int] = None
+
+    def probe(k: int) -> RefinementDecision:
+        decision = decide_sort_refinement(
+            table, rule, theta_fraction, k, solver=solver, encoder=encoder
+        )
+        search_step = SearchStep(
+            theta=float(theta_fraction),
+            k=k,
+            feasible=decision.feasible,
+            solve_time=decision.solve_time,
+            status=decision.solution.status,
+        )
+        steps.append(search_step)
+        if callback is not None:
+            callback(search_step)
+        return decision
+
+    if direction == "up":
+        for k in range(k_min, k_max + 1):
+            decision = probe(k)
+            if decision.feasible:
+                best, best_k = decision, k
+                break
+    else:
+        for k in range(k_max, k_min - 1, -1):
+            decision = probe(k)
+            if not decision.feasible:
+                break
+            best, best_k = decision, k
+
+    total_time = time.perf_counter() - started
+    if best is None or best.refinement is None or best_k is None:
+        raise RefinementError(
+            f"no refinement with threshold {float(theta_fraction):.4f} exists with "
+            f"k in [{k_min}, {k_max}]"
+        )
+    refinement = best.refinement
+    refinement.metadata["search"] = "lowest_k"
+    refinement.metadata["direction"] = direction
+    return SearchResult(
+        refinement=refinement,
+        theta=float(theta_fraction),
+        k=best_k,
+        steps=steps,
+        total_time=total_time,
+    )

@@ -1,0 +1,57 @@
+"""Synthetic datasets standing in for the paper's evaluation data."""
+
+from repro.datasets.dbpedia_persons import (
+    PERSON_PROPERTIES,
+    PERSON_SORT,
+    dbpedia_persons_graph,
+    dbpedia_persons_table,
+)
+from repro.datasets.mixed import (
+    DRUG_COMPANY_SORT,
+    MixedDataset,
+    SULTAN_SORT,
+    mixed_drug_companies_and_sultans,
+)
+from repro.datasets.synthetic import (
+    PropertyModel,
+    cap_signatures,
+    graph_from_signature_table,
+    random_signature_table,
+    sample_signature_table,
+)
+from repro.datasets.wordnet_nouns import (
+    NOUN_PROPERTIES,
+    NOUN_SORT,
+    wordnet_nouns_graph,
+    wordnet_nouns_table,
+)
+from repro.datasets.yago import (
+    YagoSortSpec,
+    property_histogram,
+    signature_histogram,
+    yago_sort_sample,
+)
+
+__all__ = [
+    "PropertyModel",
+    "sample_signature_table",
+    "cap_signatures",
+    "graph_from_signature_table",
+    "random_signature_table",
+    "PERSON_PROPERTIES",
+    "PERSON_SORT",
+    "dbpedia_persons_table",
+    "dbpedia_persons_graph",
+    "NOUN_PROPERTIES",
+    "NOUN_SORT",
+    "wordnet_nouns_table",
+    "wordnet_nouns_graph",
+    "YagoSortSpec",
+    "yago_sort_sample",
+    "signature_histogram",
+    "property_histogram",
+    "MixedDataset",
+    "DRUG_COMPANY_SORT",
+    "SULTAN_SORT",
+    "mixed_drug_companies_and_sultans",
+]

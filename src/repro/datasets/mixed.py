@@ -1,0 +1,172 @@
+"""A synthetic stand-in for the mixed Drug Companies + Sultans dataset (§7.4).
+
+The semantic-correctness experiment mixes two YAGO explicit sorts —
+Drug Companies and Sultans — into a single untyped dataset, solves a
+*highest θ for k = 2* refinement, and checks how well the two implicit
+sorts recover the original explicit sorts, reporting a confusion matrix,
+accuracy, precision and recall (with Drug Company as the positive class).
+The paper obtains 74.6% accuracy with the plain Cov rule and 82.1% after
+modifying Cov to ignore the RDF-syntax properties (``type``, ``sameAs``,
+``subClassOf``, ``label``) that both sorts share.
+
+The synthetic version keeps the essential structure:
+
+* the two sorts have mostly disjoint domain properties (corporate vs
+  dynastic) but share a few, so the separation is *not* trivial;
+* both sorts carry the four RDF-syntax properties with high frequency,
+  which pollutes the plain Cov refinement exactly as in the paper;
+* each sort has incomplete data (missing values), so signatures overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datasets.synthetic import PropertyModel, sample_signature_table
+from repro.matrix.signatures import Signature, SignatureTable
+from repro.rdf.namespaces import OWL, RDF, RDFS, Namespace, YAGO
+from repro.rdf.terms import URI
+
+__all__ = [
+    "DRUG_COMPANY_SORT",
+    "SULTAN_SORT",
+    "MixedDataset",
+    "mixed_drug_companies_and_sultans",
+]
+
+DRUG_COMPANY_SORT: URI = YAGO.wordnet_drug_company
+SULTAN_SORT: URI = YAGO.wordnet_sultan
+
+_COMPANY_NS = Namespace("http://yago-knowledge.org/resource/company/")
+_PERSON_NS = Namespace("http://yago-knowledge.org/resource/person/")
+
+#: Properties "defined in the syntax of RDF" shared by both sorts.
+SYNTAX_PROPERTIES = (RDF.type, OWL.sameAs, RDFS.subClassOf, RDFS.label)
+
+
+@dataclass
+class MixedDataset:
+    """The mixed dataset plus the ground truth needed for evaluation.
+
+    Attributes
+    ----------
+    table:
+        The signature table of the mixed dataset (what refinement sees).
+    drug_companies / sultans:
+        The signature tables of the two original explicit sorts.
+    truth:
+        For every signature of the mixed table, how many of its subjects
+        are drug companies and how many are sultans.  Signature-level truth
+        is enough because a sort refinement can only route whole signature
+        sets.
+    """
+
+    table: SignatureTable
+    drug_companies: SignatureTable
+    sultans: SignatureTable
+    truth: Dict[Signature, Tuple[int, int]]
+
+    @property
+    def n_drug_companies(self) -> int:
+        """Total number of drug-company subjects."""
+        return self.drug_companies.n_subjects
+
+    @property
+    def n_sultans(self) -> int:
+        """Total number of sultan subjects."""
+        return self.sultans.n_subjects
+
+
+#: Generic YAGO-style properties shared by the two sorts (besides the
+#: RDF-syntax ones).  Their presence is what makes the recovery non-trivial:
+#: a poorly-documented sultan and a poorly-documented drug company can end up
+#: with exactly the same signature, and a sort refinement (which routes whole
+#: signature sets) then cannot separate them.
+_SHARED_NS = Namespace("http://yago-knowledge.org/resource/shared/")
+HAS_NAME = _SHARED_NS.hasName
+LOCATED_IN = _SHARED_NS.locatedIn
+ESTABLISHED_ON = _SHARED_NS.establishedOnDate
+
+
+def _drug_company_models() -> List[PropertyModel]:
+    ns = _COMPANY_NS
+    return [
+        PropertyModel(RDF.type, probability=1.0),
+        PropertyModel(RDFS.label, probability=0.95),
+        PropertyModel(OWL.sameAs, probability=0.70),
+        PropertyModel(RDFS.subClassOf, probability=0.35),
+        PropertyModel(HAS_NAME, probability=0.95),
+        PropertyModel(LOCATED_IN, probability=0.60),
+        PropertyModel(ESTABLISHED_ON, probability=0.45),
+        # Domain-specific columns, each missing for a sizeable fraction of
+        # companies so that "poorly documented company" signatures exist.
+        PropertyModel(ns.hasWebsite, probability=0.40),
+        PropertyModel(ns.hasNumberOfEmployees, probability=0.30),
+        PropertyModel(ns.hasRevenue, probability=0.25),
+        PropertyModel(ns.createdProduct, probability=0.45),
+        PropertyModel(ns.ownsCompany, probability=0.10),
+    ]
+
+
+def _sultan_models() -> List[PropertyModel]:
+    ns = _PERSON_NS
+    return [
+        PropertyModel(RDF.type, probability=1.0),
+        PropertyModel(RDFS.label, probability=0.95),
+        PropertyModel(OWL.sameAs, probability=0.45),
+        PropertyModel(RDFS.subClassOf, probability=0.25),
+        PropertyModel(HAS_NAME, probability=0.95),
+        # Sultans share the generic location/establishment columns at lower
+        # rates (palaces, founded dynasties), which creates cross-sort
+        # signature overlap among poorly documented entities.
+        PropertyModel(LOCATED_IN, probability=0.30),
+        PropertyModel(ESTABLISHED_ON, probability=0.15),
+        PropertyModel(ns.bornOnDate, probability=0.45),
+        PropertyModel(ns.diedOnDate, probability=0.55),
+        PropertyModel(
+            ns.bornIn,
+            conditional_on=ns.bornOnDate,
+            probability_if_present=0.6,
+            probability_if_absent=0.15,
+        ),
+        PropertyModel(ns.memberOfDynasty, probability=0.55),
+        PropertyModel(ns.reignStart, probability=0.50),
+        PropertyModel(ns.hasPredecessor, probability=0.35),
+        PropertyModel(ns.hasSuccessor, probability=0.35),
+    ]
+
+
+def mixed_drug_companies_and_sultans(
+    n_drug_companies: int = 450,
+    n_sultans: int = 400,
+    seed: int = 41,
+    max_signatures_per_sort: int = 16,
+) -> MixedDataset:
+    """Build the mixed Drug Companies + Sultans dataset.
+
+    The per-sort signature caps keep the (k = 2, highest θ) ILP instance
+    small; the paper's actual sorts are comparably small (the two YAGO
+    sorts it uses have only dozens of entities — here we keep hundreds so
+    the per-class statistics are stable).
+    """
+    companies = sample_signature_table(
+        _drug_company_models(),
+        n_subjects=n_drug_companies,
+        seed=seed,
+        name="Drug Companies (synthetic)",
+        max_signatures=max_signatures_per_sort,
+    )
+    sultans = sample_signature_table(
+        _sultan_models(),
+        n_subjects=n_sultans,
+        seed=seed + 1,
+        name="Sultans (synthetic)",
+        max_signatures=max_signatures_per_sort,
+    )
+    mixed = companies.merge(sultans, name="Drug Companies + Sultans (synthetic)")
+
+    truth: Dict[Signature, Tuple[int, int]] = {}
+    for signature in mixed.signatures:
+        truth[signature] = (companies.count(signature), sultans.count(signature))
+    return MixedDataset(table=mixed, drug_companies=companies, sultans=sultans, truth=truth)

@@ -1,0 +1,269 @@
+"""Generic synthetic dataset generation utilities.
+
+The experiments of the paper run on DBpedia Persons, WordNet Nouns and a
+sample of YAGO explicit sorts.  Those raw dumps are not available offline,
+but every structuredness computation and every ILP instance in the paper
+depends on the data only through its *signature table* (signature → number
+of subjects).  The dataset modules in this package therefore generate
+signature tables (and, when needed, full RDF graphs) whose distributions
+match the statistics the paper reports; see DESIGN.md for the
+substitution argument.
+
+This module holds the building blocks shared by the concrete dataset
+modules: sampling subjects from per-property marginal/conditional
+probabilities, capping the number of distinct signatures, and materialising
+a signature table as a typed RDF graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.matrix.signatures import Signature, SignatureTable
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import RDF, Namespace
+from repro.rdf.terms import Literal, URI, coerce_uri
+
+__all__ = [
+    "PropertyModel",
+    "sample_signature_table",
+    "cap_signatures",
+    "graph_from_signature_table",
+    "random_signature_table",
+]
+
+
+@dataclass
+class PropertyModel:
+    """A per-property sampling model.
+
+    Attributes
+    ----------
+    prop:
+        The property URI.
+    probability:
+        Base probability that a subject has the property.
+    conditional_on:
+        Optional property this one is correlated with.
+    probability_if_present / probability_if_absent:
+        Conditional probabilities used instead of ``probability`` when
+        ``conditional_on`` is set, depending on whether the conditioning
+        property was sampled for the subject.
+    probability_function:
+        Fully general hook: a callable receiving the properties already
+        sampled for the subject (property -> bool) and returning the
+        probability for this one.  Takes precedence over the other fields;
+        used when a property must be correlated with several others (e.g.
+        reproducing the dependency structure of Table 1).
+    """
+
+    prop: URI
+    probability: float = 0.0
+    conditional_on: Optional[URI] = None
+    probability_if_present: Optional[float] = None
+    probability_if_absent: Optional[float] = None
+    probability_function: Optional[Callable[[Dict[URI, bool]], float]] = None
+
+    def __post_init__(self) -> None:
+        self.prop = coerce_uri(self.prop)
+        if self.conditional_on is not None:
+            self.conditional_on = coerce_uri(self.conditional_on)
+            if self.probability_if_present is None or self.probability_if_absent is None:
+                raise DatasetError(
+                    f"property {self.prop} is conditional but lacks conditional probabilities"
+                )
+        for value in (self.probability, self.probability_if_present, self.probability_if_absent):
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise DatasetError(f"probabilities must lie in [0, 1], got {value}")
+
+    def sample(self, rng: np.random.Generator, present: Dict[URI, bool]) -> bool:
+        """Sample whether a subject has this property, given earlier draws."""
+        if self.probability_function is not None:
+            probability = float(self.probability_function(present))
+            if not 0.0 <= probability <= 1.0:
+                raise DatasetError(
+                    f"probability_function for {self.prop} returned {probability}, "
+                    "expected a value in [0, 1]"
+                )
+        elif self.conditional_on is None:
+            probability = self.probability
+        elif present.get(self.conditional_on, False):
+            probability = float(self.probability_if_present)
+        else:
+            probability = float(self.probability_if_absent)
+        return bool(rng.random() < probability)
+
+
+def sample_signature_table(
+    models: Sequence[PropertyModel],
+    n_subjects: int,
+    seed: int = 0,
+    name: str = "",
+    max_signatures: Optional[int] = None,
+) -> SignatureTable:
+    """Sample ``n_subjects`` subjects from the per-property models.
+
+    Conditional properties must appear *after* the property they condition
+    on.  The result is aggregated into a signature table; when
+    ``max_signatures`` is given the long tail of rare signatures is folded
+    into structurally closest common signatures (see :func:`cap_signatures`).
+    """
+    if n_subjects < 1:
+        raise DatasetError("n_subjects must be positive")
+    properties = [model.prop for model in models]
+    if len(set(properties)) != len(properties):
+        raise DatasetError("duplicate properties in the sampling models")
+    known = set()
+    for model in models:
+        if model.conditional_on is not None and model.conditional_on not in known:
+            raise DatasetError(
+                f"property {model.prop} conditions on {model.conditional_on}, "
+                "which must be listed earlier"
+            )
+        known.add(model.prop)
+
+    rng = np.random.default_rng(seed)
+    counts: Dict[Signature, int] = {}
+    for _ in range(n_subjects):
+        present: Dict[URI, bool] = {}
+        for model in models:
+            present[model.prop] = model.sample(rng, present)
+        signature = frozenset(p for p, has in present.items() if has)
+        counts[signature] = counts.get(signature, 0) + 1
+    table = SignatureTable(properties, counts, name=name)
+    if max_signatures is not None:
+        table = cap_signatures(table, max_signatures)
+    return table
+
+
+def cap_signatures(table: SignatureTable, max_signatures: int) -> SignatureTable:
+    """Fold rare signatures into their closest frequent signature.
+
+    Keeps the ``max_signatures`` largest signature sets; every other
+    signature's subjects are reassigned to the kept signature at smallest
+    Hamming distance (ties broken towards the larger signature set).  This
+    mirrors how real datasets end up with a bounded number of signatures
+    (64 for DBpedia Persons, 53 for WordNet Nouns) despite a much larger
+    combinatorial space.
+    """
+    if max_signatures < 1:
+        raise DatasetError("max_signatures must be positive")
+    if table.n_signatures <= max_signatures:
+        return table
+    ordered = list(table.signatures)  # already sorted by decreasing size
+    kept = ordered[:max_signatures]
+    folded = ordered[max_signatures:]
+    counts = {sig: table.count(sig) for sig in kept}
+    for signature in folded:
+        def distance(candidate: Signature) -> Tuple[int, int]:
+            return (len(candidate ^ signature), -table.count(candidate))
+
+        target = min(kept, key=distance)
+        counts[target] += table.count(signature)
+    return SignatureTable(table.properties, counts, name=table.name)
+
+
+def graph_from_signature_table(
+    table: SignatureTable,
+    sort_uri: object,
+    namespace: Optional[Namespace] = None,
+    value_factory: Optional[Callable[[URI, URI], object]] = None,
+) -> RDFGraph:
+    """Materialise a signature table as a typed RDF graph.
+
+    Every subject receives one triple per property in its signature plus an
+    ``rdf:type`` triple declaring it of ``sort_uri``, so the graph round
+    trips through :meth:`RDFGraph.sort_subgraph` / sort extraction.
+
+    Parameters
+    ----------
+    value_factory:
+        Optional callable ``(subject, property) -> object value``; by
+        default a literal ``"value of <property local name>"`` is used.
+    """
+    namespace = namespace or Namespace("http://example.org/entity/")
+    sort = coerce_uri(sort_uri)
+    graph = RDFGraph(name=table.name)
+    index = 0
+    for signature in table.signatures:
+        for _ in range(table.count(signature)):
+            subject = namespace[f"e{index}"]
+            index += 1
+            graph.add(subject, RDF.type, sort)
+            for prop in sorted(signature, key=str):
+                if value_factory is not None:
+                    value = value_factory(subject, prop)
+                else:
+                    value = Literal(f"value of {prop.local_name}")
+                graph.add(subject, prop, value)
+    return graph
+
+
+def random_signature_table(
+    n_properties: int,
+    n_signatures: int,
+    n_subjects: int,
+    seed: int = 0,
+    density: float = 0.5,
+    zipf_exponent: float = 1.3,
+    namespace: Optional[Namespace] = None,
+    name: str = "",
+) -> SignatureTable:
+    """Generate a random signature table with the requested dimensions.
+
+    Used by the YAGO-style scalability study, where what matters is the
+    *number* of signatures and properties, not their semantics.
+
+    Parameters
+    ----------
+    n_properties / n_signatures / n_subjects:
+        Requested dimensions (the realised number of signatures can be
+        slightly lower when random supports collide).
+    density:
+        Expected fraction of properties present in a signature.
+    zipf_exponent:
+        Skew of the signature-set size distribution (larger = more mass on
+        the first few signatures, as observed in real data).
+    """
+    if n_signatures < 1 or n_properties < 1 or n_subjects < n_signatures:
+        raise DatasetError("need n_signatures >= 1, n_properties >= 1, n_subjects >= n_signatures")
+    namespace = namespace or Namespace("http://example.org/prop/")
+    rng = np.random.default_rng(seed)
+    properties = [namespace[f"p{i}"] for i in range(n_properties)]
+
+    # Per-property prevalence: a few common columns, a long tail of rare ones.
+    prevalence = rng.beta(a=2.0 * density, b=2.0 * (1 - density) + 1e-9, size=n_properties)
+    signatures: Dict[Signature, None] = {}
+    attempts = 0
+    while len(signatures) < n_signatures and attempts < 50 * n_signatures:
+        attempts += 1
+        mask = rng.random(n_properties) < prevalence
+        if not mask.any():
+            mask[int(rng.integers(n_properties))] = True
+        signatures[frozenset(p for p, keep in zip(properties, mask) if keep)] = None
+    sigs = list(signatures)
+
+    # Zipf-like signature-set sizes that sum to n_subjects.
+    ranks = np.arange(1, len(sigs) + 1, dtype=float)
+    weights = ranks ** (-zipf_exponent)
+    weights /= weights.sum()
+    sizes = np.maximum(1, np.floor(weights * n_subjects).astype(int))
+    # Distribute any remainder over the largest signatures.
+    remainder = n_subjects - int(sizes.sum())
+    index = 0
+    while remainder > 0:
+        sizes[index % len(sizes)] += 1
+        remainder -= 1
+        index += 1
+    while remainder < 0:
+        target = index % len(sizes)
+        if sizes[target] > 1:
+            sizes[target] -= 1
+            remainder += 1
+        index += 1
+    counts = {sig: int(size) for sig, size in zip(sigs, sizes)}
+    return SignatureTable(properties, counts, name=name)

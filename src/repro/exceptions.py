@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RDFError(ReproError):
+    """Problems with RDF terms, triples or graphs."""
+
+
+class ParseError(ReproError):
+    """Raised when parsing N-Triples data or rule text fails."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column})" if column is not None else ")")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class RuleError(ReproError):
+    """Raised for malformed rules or formulas (e.g. free consequent variables)."""
+
+
+class EvaluationError(ReproError):
+    """Raised when a structuredness function cannot be evaluated."""
+
+
+class ILPError(ReproError):
+    """Raised for malformed ILP models or solver failures."""
+
+
+class InfeasibleError(ILPError):
+    """Raised when an ILP model is proved infeasible and a solution was required."""
+
+
+class RefinementError(ReproError):
+    """Raised for invalid sort refinements or refinement searches."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset specification is invalid."""

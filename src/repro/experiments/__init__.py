@@ -1,0 +1,61 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Importing this package registers every experiment; use
+:func:`repro.experiments.run_experiment` (or the CLI) to run them:
+
+=====================  =======================================================
+experiment id          paper artefact
+=====================  =======================================================
+``overview``           Figures 2 & 3 and the §7.1/§7.2 dataset statistics
+``figure4``            Figure 4 — DBpedia Persons, highest θ for k = 2
+``figure5``            Figure 5 — DBpedia Persons, lowest k for θ = 0.9
+``table1``             Table 1 — σDep over the birth/death properties
+``table2``             Table 2 — σSymDep ranking of property pairs
+``figure6``            Figure 6 — WordNet Nouns, highest θ for k = 2
+``figure7``            Figure 7 — WordNet Nouns, lowest k for fixed θ
+``figure8``            Figure 8 — YAGO-style scalability study
+``semantic_correctness``  §7.4 — Drug Companies vs Sultans recovery
+``reduction``          Theorem 5.1 / Appendix A — 3-coloring reduction check
+=====================  =======================================================
+"""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    register,
+    run_experiment,
+)
+from repro.experiments.dbpedia_k2 import run_dbpedia_k2
+from repro.experiments.dbpedia_lowest_k import run_dbpedia_lowest_k
+from repro.experiments.dependency_tables import run_dependency_table, run_symdep_ranking
+from repro.experiments.overview import run_overview
+from repro.experiments.reduction_check import run_reduction_check
+from repro.experiments.semantic_correctness import classify_refinement, run_semantic_correctness
+from repro.experiments.wordnet import run_wordnet_k2, run_wordnet_lowest_k
+from repro.experiments.yago_scalability import (
+    fit_exponential,
+    fit_power_law,
+    run_yago_scalability,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+    "run_overview",
+    "run_dbpedia_k2",
+    "run_dbpedia_lowest_k",
+    "run_dependency_table",
+    "run_symdep_ranking",
+    "run_wordnet_k2",
+    "run_wordnet_lowest_k",
+    "run_yago_scalability",
+    "run_semantic_correctness",
+    "classify_refinement",
+    "run_reduction_check",
+    "fit_power_law",
+    "fit_exponential",
+]

@@ -1,0 +1,104 @@
+"""Experiment E9 — Section 7.4: semantic correctness on a mixed dataset.
+
+Two explicit sorts (Drug Companies and Sultans) are mixed into one dataset;
+a *highest θ for k = 2* refinement is computed and interpreted as a binary
+classifier for Drug Companies.  The paper reports, with the plain Cov rule,
+74.6% accuracy / 61.4% precision / 100% recall, improving to 82.1% / 69.2%
+/ 100% when Cov is modified to ignore the four RDF-syntax properties
+(``type``, ``sameAs``, ``subClassOf``, ``label``) that both sorts share.
+
+The synthetic mixed dataset keeps the same structure (disjoint domain
+properties, shared syntax properties, incomplete rows), so the reproduction
+target is: good-but-imperfect recovery with plain Cov, and a measurable
+improvement when the syntax properties are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.refinement import SortRefinement
+from repro.core.search import highest_theta_refinement
+from repro.datasets import mixed_drug_companies_and_sultans
+from repro.datasets.mixed import MixedDataset, SYNTAX_PROPERTIES
+from repro.experiments.base import ExperimentResult, register
+from repro.report.metrics import ConfusionMatrix
+from repro.rules import coverage, coverage_ignoring
+from repro.rules.ast import Rule
+
+__all__ = ["run_semantic_correctness", "classify_refinement"]
+
+
+def classify_refinement(refinement: SortRefinement, dataset: MixedDataset) -> ConfusionMatrix:
+    """Score a k ≤ 2 refinement as a Drug-Company classifier.
+
+    The implicit sort containing the larger number of drug-company subjects
+    is labelled "classified as Drug Company"; the other (if any) "classified
+    as Sultan".  The ground truth is signature-level (a refinement can only
+    route whole signature sets), exactly like the paper's evaluation.
+    """
+    per_sort = []
+    for sort in refinement.sorts:
+        drug = sum(dataset.truth[sig][0] for sig in sort.signatures)
+        sultan = sum(dataset.truth[sig][1] for sig in sort.signatures)
+        per_sort.append((drug, sultan))
+    if not per_sort:
+        return ConfusionMatrix(0, 0, 0, 0)
+    drug_sort_index = max(range(len(per_sort)), key=lambda i: per_sort[i][0])
+    tp = fp = fn = tn = 0
+    for index, (drug, sultan) in enumerate(per_sort):
+        if index == drug_sort_index:
+            tp += drug
+            fp += sultan
+        else:
+            fn += drug
+            tn += sultan
+    return ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+@register("semantic_correctness")
+def run_semantic_correctness(
+    n_drug_companies: int = 450,
+    n_sultans: int = 400,
+    seed: int = 41,
+    step: float = 0.02,
+    solver_time_limit: Optional[float] = 60.0,
+) -> ExperimentResult:
+    """Regenerate the Section 7.4 semantic-correctness study."""
+    dataset = mixed_drug_companies_and_sultans(
+        n_drug_companies=n_drug_companies, n_sultans=n_sultans, seed=seed
+    )
+    result = ExperimentResult(
+        experiment_id="semantic_correctness",
+        title="Section 7.4 — recovering Drug Companies vs Sultans from a mixed dataset",
+        paper_reference={
+            "plain Cov": "accuracy 74.6%, precision 61.4%, recall 100%",
+            "Cov ignoring RDF-syntax properties": "accuracy 82.1%, precision 69.2%, recall 100%",
+        },
+    )
+
+    variants: list[tuple[str, Rule]] = [
+        ("Cov", coverage()),
+        ("Cov ignoring syntax properties", coverage_ignoring(SYNTAX_PROPERTIES)),
+    ]
+    accuracies = {}
+    for label, rule in variants:
+        search = highest_theta_refinement(
+            dataset.table, rule, k=2, step=step, solver_time_limit=solver_time_limit
+        )
+        confusion = classify_refinement(search.refinement, dataset)
+        accuracies[label] = confusion.accuracy
+        row = {"rule": label, "theta": search.theta, "k": search.refinement.k}
+        row.update(confusion.as_dict())
+        result.rows.append(row)
+
+    improved = accuracies.get("Cov ignoring syntax properties", 0) >= accuracies.get("Cov", 0)
+    result.notes.append(
+        "Reproduction target: imperfect recovery with plain Cov, improved (or at least not "
+        f"degraded) when the RDF-syntax properties are ignored — observed improvement: {improved}."
+    )
+    result.notes.append(
+        "As the paper remarks, the experiment assumes the two explicit sorts are well "
+        "differentiated to begin with, which is exactly the assumption the paper questions."
+    )
+    return result

@@ -1,0 +1,166 @@
+"""Experiments E6 & E7 — Figures 6 and 7: WordNet Nouns refinements.
+
+Figure 6: highest θ for k = 2 under σCov and σSim.  The paper's findings:
+
+* under Cov the improvement over the un-refined dataset is small (0.44 →
+  ~0.55/0.56) because a handful of dominant signatures already covers most
+  subjects — k = 2 simply cannot discriminate much;
+* under Sim the dataset was already highly structured (0.93), and the
+  refinement mostly separates the rows lacking ``gloss``.
+
+Figure 7: lowest k for a fixed threshold — θ = 0.9 under Cov (paper:
+k = 31, i.e. essentially one sort per signature, confirming WordNet Nouns
+is already a fine-grained sort) and θ = 0.98 under Sim (paper: k = 4,
+splitting the four largest signatures apart).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datasets import wordnet_nouns_table
+from repro.experiments.base import ExperimentResult, register
+from repro.functions import coverage_function, similarity_function
+from repro.matrix.horizontal import render_refinement
+from repro.core.search import highest_theta_refinement, lowest_k_refinement
+from repro.rdf.namespaces import WORDNET
+from repro.rules import coverage, similarity
+
+__all__ = ["run_wordnet_k2", "run_wordnet_lowest_k"]
+
+
+@register("figure6")
+def run_wordnet_k2(
+    n_subjects: int = 15_000,
+    seed: int = 11,
+    sim_max_signatures: int = 12,
+    step: float = 0.01,
+    solver_time_limit: Optional[float] = 60.0,
+    include_sim: bool = True,
+    render_figures: bool = True,
+) -> ExperimentResult:
+    """Regenerate Figure 6 (k = 2 refinements of WordNet Nouns)."""
+    cov_fn, sim_fn = coverage_function(), similarity_function()
+    result = ExperimentResult(
+        experiment_id="figure6",
+        title="Figure 6 — WordNet Nouns, highest-theta sort refinement for k = 2",
+        paper_reference={
+            "Fig 6a (Cov)": "sorts of 14,938 / 64,751 subjects; Cov 0.55 / 0.56 (small gain over 0.44)",
+            "Fig 6b (Sim)": "sorts of 7,311 / 72,378 subjects; Sim 0.98 / 0.94; the small sort lacks gloss",
+        },
+    )
+    runs = [("Cov", coverage(), wordnet_nouns_table(n_subjects=n_subjects, seed=seed), cov_fn)]
+    if include_sim:
+        runs.append(
+            (
+                "Sim",
+                similarity(),
+                wordnet_nouns_table(
+                    n_subjects=n_subjects, seed=seed, max_signatures=sim_max_signatures
+                ),
+                sim_fn,
+            )
+        )
+    for label, rule, table, function in runs:
+        search = highest_theta_refinement(
+            table, rule, k=2, step=step, solver_time_limit=solver_time_limit
+        )
+        refinement = search.refinement
+        for sort in refinement.sorts:
+            result.rows.append(
+                {
+                    "rule": label,
+                    "theta": search.theta,
+                    "sort": sort.index + 1,
+                    "subjects": sort.n_subjects,
+                    "signatures": sort.n_signatures,
+                    "Cov": sort.structuredness(cov_fn),
+                    "Sim": sort.structuredness(function if label == "Sim" else sim_fn),
+                    "uses gloss": WORDNET.gloss in sort.used_properties,
+                    "uses memberMeronymOf": WORDNET.memberMeronymOf in sort.used_properties,
+                }
+            )
+        if render_figures:
+            result.figures.append(
+                render_refinement(
+                    [sort.table for sort in refinement.sorts],
+                    parent_properties=table.properties,
+                    title=f"[Figure 6 / {label}: theta = {search.theta:.3f}]",
+                )
+            )
+    result.notes.append(
+        "The paper observes the k = 2 Cov refinement improves structuredness only slightly "
+        "(0.44 -> ~0.55): WordNet Nouns is dominated by a few large, similar signatures."
+    )
+    return result
+
+
+@register("figure7")
+def run_wordnet_lowest_k(
+    n_subjects: int = 15_000,
+    seed: int = 11,
+    cov_theta: float = 0.9,
+    sim_theta: float = 0.98,
+    cov_max_signatures: int = 24,
+    sim_max_signatures: int = 12,
+    solver_time_limit: Optional[float] = 60.0,
+    include_sim: bool = True,
+) -> ExperimentResult:
+    """Regenerate Figure 7 (lowest-k refinements of WordNet Nouns).
+
+    Parameters
+    ----------
+    cov_theta / sim_theta:
+        The thresholds of Figures 7a (0.9) and 7b (0.98).
+    cov_max_signatures:
+        The Cov search needs to probe many values of k (the paper finds
+        k = 31); capping the signature count keeps the sweep fast while
+        preserving the qualitative outcome that k is a large fraction of
+        the number of signatures.
+    """
+    cov_fn, sim_fn = coverage_function(), similarity_function()
+    result = ExperimentResult(
+        experiment_id="figure7",
+        title="Figure 7 — WordNet Nouns, lowest k for a fixed threshold",
+        paper_reference={
+            "Fig 7a (Cov, theta=0.9)": "k = 31 — almost one sort per signature",
+            "Fig 7b (Sim, theta=0.98)": "k = 4 — the four dominant signatures get their own sorts",
+        },
+    )
+    runs = [("Cov", coverage(), cov_theta, cov_max_signatures, cov_fn, "auto")]
+    if include_sim:
+        runs.append(("Sim", similarity(), sim_theta, sim_max_signatures, sim_fn, "auto"))
+    for label, rule, theta, max_signatures, function, direction in runs:
+        table = wordnet_nouns_table(
+            n_subjects=n_subjects, seed=seed, max_signatures=max_signatures
+        )
+        search = lowest_k_refinement(
+            table,
+            rule,
+            theta=theta,
+            direction=direction,
+            solver_time_limit=solver_time_limit,
+        )
+        refinement = search.refinement
+        result.rows.append(
+            {
+                "rule": label,
+                "theta": theta,
+                "signatures": table.n_signatures,
+                "lowest k": search.k,
+                "k / signatures": search.k / table.n_signatures,
+                "min sigma": refinement.min_structuredness(function),
+                "largest sort": max(refinement.sizes),
+                "smallest sort": min(refinement.sizes),
+                "probes": search.n_probes,
+            }
+        )
+        result.notes.append(
+            f"{label}: lowest k = {search.k} of {table.n_signatures} signatures at theta = {theta}"
+        )
+    result.notes.append(
+        "The qualitative check against the paper: under Cov the lowest k is a large fraction of "
+        "the number of signatures (the dataset is already a fine-grained sort), while under Sim "
+        "a handful of sorts suffices."
+    )
+    return result

@@ -1,0 +1,37 @@
+"""Closed-form structuredness functions and function objects."""
+
+from repro.functions.structuredness import (
+    Dataset,
+    StructurednessFunction,
+    as_signature_table,
+    best_function_for_rule,
+    conditional_dependency,
+    coverage,
+    coverage_function,
+    dependency,
+    dependency_function,
+    function_from_rule,
+    matching_fast_function,
+    similarity,
+    similarity_function,
+    symmetric_dependency,
+    symmetric_dependency_function,
+)
+
+__all__ = [
+    "Dataset",
+    "StructurednessFunction",
+    "as_signature_table",
+    "coverage",
+    "similarity",
+    "dependency",
+    "symmetric_dependency",
+    "conditional_dependency",
+    "coverage_function",
+    "similarity_function",
+    "dependency_function",
+    "symmetric_dependency_function",
+    "function_from_rule",
+    "matching_fast_function",
+    "best_function_for_rule",
+]

@@ -1,0 +1,20 @@
+"""A small ILP modelling layer with HiGHS and pure-Python backends."""
+
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.model import MAXIMIZE, MINIMIZE, Constraint, LinExpr, Model, Variable
+from repro.ilp.scipy_backend import ScipyMilpSolver, solve_with_scipy
+from repro.ilp.solution import Solution, SolveStatus
+
+__all__ = [
+    "Model",
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "MINIMIZE",
+    "MAXIMIZE",
+    "Solution",
+    "SolveStatus",
+    "ScipyMilpSolver",
+    "solve_with_scipy",
+    "BranchAndBoundSolver",
+]

@@ -1,0 +1,163 @@
+"""A pure-Python branch-and-bound MILP solver.
+
+This backend exists for three reasons:
+
+* it removes the hard dependency of the *core algorithm* on any particular
+  external solver (the paper's contribution is the encoding, not CPLEX);
+* it is a readable reference implementation against which the HiGHS
+  backend can be cross-checked on small instances;
+* it powers the backend ablation benchmark in ``benchmarks/``.
+
+It solves LP relaxations with ``scipy.optimize.linprog`` (HiGHS LP) and
+branches on the most fractional integer variable.  It is only intended for
+small models (tens to a few hundred integer variables); the default
+backend for real refinement runs is :class:`repro.ilp.scipy_backend.ScipyMilpSolver`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import ILPError
+from repro.ilp.model import MAXIMIZE, Model
+from repro.ilp.solution import Solution, SolveStatus
+
+__all__ = ["BranchAndBoundSolver"]
+
+_INTEGRALITY_TOLERANCE = 1e-6
+
+
+class BranchAndBoundSolver:
+    """Depth-first branch and bound over LP relaxations.
+
+    Parameters
+    ----------
+    time_limit:
+        Wall-clock budget in seconds (the best incumbent found so far is
+        returned with status ``feasible``/``time_limit`` when exceeded).
+    max_nodes:
+        Hard cap on the number of explored nodes.
+    """
+
+    name = "branch-and-bound"
+
+    def __init__(self, time_limit: Optional[float] = None, max_nodes: int = 200_000):
+        self.time_limit = time_limit
+        self.max_nodes = max_nodes
+
+    def solve(self, model: Model) -> Solution:
+        """Solve ``model`` exactly (within the node/time limits)."""
+        if model.n_variables == 0:
+            return Solution(status=SolveStatus.OPTIMAL, objective=0.0, backend=self.name)
+        arrays = model.to_arrays(sparse=True)
+        started = time.perf_counter()
+
+        c = arrays["c"]
+        A = arrays["A"]
+        cl, cu = arrays["cl"], arrays["cu"]
+        integer_indexes = [i for i, flag in enumerate(arrays["integrality"]) if flag]
+
+        # linprog wants one-sided rows: stack A x <= cu and -A x <= -cl.
+        finite_upper = np.isfinite(cu)
+        finite_lower = np.isfinite(cl)
+        from scipy import sparse as sp
+
+        blocks = []
+        rhs_parts = []
+        if finite_upper.any():
+            blocks.append(A[finite_upper])
+            rhs_parts.append(cu[finite_upper])
+        if finite_lower.any():
+            blocks.append(-A[finite_lower])
+            rhs_parts.append(-cl[finite_lower])
+        if blocks:
+            A_ub = sp.vstack(blocks, format="csr")
+            b_ub = np.concatenate(rhs_parts)
+        else:
+            A_ub, b_ub = None, None
+
+        best_value = math.inf
+        best_solution: Optional[np.ndarray] = None
+        nodes_explored = 0
+        hit_limit = False
+
+        initial_bounds = [(float(lo), float(hi)) for lo, hi in zip(arrays["xl"], arrays["xu"])]
+        stack: List[List[Tuple[float, float]]] = [initial_bounds]
+
+        while stack:
+            if nodes_explored >= self.max_nodes:
+                hit_limit = True
+                break
+            if self.time_limit is not None and time.perf_counter() - started > self.time_limit:
+                hit_limit = True
+                break
+            bounds = stack.pop()
+            nodes_explored += 1
+            relaxation = linprog(
+                c, A_ub=A_ub, b_ub=b_ub, bounds=bounds, method="highs"
+            )
+            if relaxation.status != 0 or relaxation.x is None:
+                continue  # infeasible or numerically bad node: prune
+            if relaxation.fun >= best_value - 1e-9:
+                continue  # bound: cannot improve the incumbent
+            x = relaxation.x
+            fractional = _most_fractional(x, integer_indexes)
+            if fractional is None:
+                best_value = float(relaxation.fun)
+                best_solution = x.copy()
+                continue
+            index, value = fractional
+            floor_bounds = [list(b) for b in bounds]
+            ceil_bounds = [list(b) for b in bounds]
+            floor_bounds[index][1] = math.floor(value)
+            ceil_bounds[index][0] = math.ceil(value)
+            if floor_bounds[index][0] <= floor_bounds[index][1]:
+                stack.append([tuple(b) for b in floor_bounds])
+            if ceil_bounds[index][0] <= ceil_bounds[index][1]:
+                stack.append([tuple(b) for b in ceil_bounds])
+
+        elapsed = time.perf_counter() - started
+        if best_solution is None:
+            status = SolveStatus.TIME_LIMIT if hit_limit else SolveStatus.INFEASIBLE
+            return Solution(
+                status=status,
+                solve_time=elapsed,
+                backend=self.name,
+                message=f"explored {nodes_explored} nodes",
+            )
+        values = {
+            var: float(round(best_solution[var.index]))
+            if var.is_integer
+            else float(best_solution[var.index])
+            for var in model.variables
+        }
+        objective = float(model.objective.value(values))
+        status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
+        return Solution(
+            status=status,
+            values=values,
+            objective=objective,
+            solve_time=elapsed,
+            backend=self.name,
+            message=f"explored {nodes_explored} nodes",
+        )
+
+
+def _most_fractional(x: np.ndarray, integer_indexes: List[int]) -> Optional[Tuple[int, float]]:
+    """Return the integer-constrained index whose value is farthest from integral."""
+    best_index = None
+    best_distance = _INTEGRALITY_TOLERANCE
+    for index in integer_indexes:
+        value = x[index]
+        distance = abs(value - round(value))
+        if distance > best_distance:
+            best_distance = distance
+            best_index = index
+    if best_index is None:
+        return None
+    return best_index, float(x[best_index])

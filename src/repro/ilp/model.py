@@ -1,0 +1,341 @@
+"""A small Integer Linear Programming modelling layer.
+
+The paper solves the sort-refinement problem by handing an ILP instance
+``A x ≤ b`` to a commercial solver (CPLEX).  This module provides the
+modelling vocabulary the encoder needs — binary/integer/continuous
+variables, linear expressions, and two-sided linear constraints — plus a
+conversion to the dense/sparse arrays the backends consume.
+
+The layer is deliberately tiny compared to a real modelling language, but
+it is complete for our purposes and has no dependencies beyond NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ILPError
+
+__all__ = ["Variable", "LinExpr", "Constraint", "Model", "MINIMIZE", "MAXIMIZE"]
+
+MINIMIZE = "minimize"
+MAXIMIZE = "maximize"
+
+Number = Union[int, float]
+
+
+class Variable:
+    """A decision variable.
+
+    Variables are identified by object identity; the ``name`` is only used
+    for debugging and solution reporting.  Use :meth:`Model.add_variable`
+    (or the ``add_binary``/``add_integer`` helpers) rather than creating
+    instances directly, so the variable is registered with its model.
+    """
+
+    __slots__ = ("name", "lower", "upper", "is_integer", "index")
+
+    def __init__(
+        self,
+        name: str,
+        lower: Number = 0.0,
+        upper: Number = math.inf,
+        is_integer: bool = False,
+        index: int = -1,
+    ):
+        if lower > upper:
+            raise ILPError(f"variable {name!r} has empty bounds [{lower}, {upper}]")
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+        self.is_integer = is_integer
+        self.index = index
+
+    # -- expression building ------------------------------------------------
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other: object) -> "LinExpr":
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return (-1 * self) + other
+
+    def __mul__(self, factor: object) -> "LinExpr":
+        return self._expr() * factor
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self._expr() * -1
+
+    def __le__(self, other: object) -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other: object) -> "Constraint":
+        return self._expr() >= other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "int" if self.is_integer else "cont"
+        return f"<Variable {self.name} [{self.lower}, {self.upper}] {kind}>"
+
+
+class LinExpr:
+    """A linear expression ``Σ coef_i · var_i + constant``."""
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(self, coefficients: Optional[Mapping[Variable, float]] = None, constant: float = 0.0):
+        self.coefficients: Dict[Variable, float] = dict(coefficients or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value: object) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return LinExpr(value.coefficients, value.constant)
+        if isinstance(value, Variable):
+            return LinExpr({value: 1.0})
+        if isinstance(value, (int, float)):
+            return LinExpr({}, float(value))
+        raise ILPError(f"cannot use {type(value).__name__} in a linear expression")
+
+    @staticmethod
+    def sum(terms: Iterable[object]) -> "LinExpr":
+        """Sum variables/expressions/numbers into a single expression."""
+        result = LinExpr()
+        for term in terms:
+            result = result + term
+        return result
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coefficients, self.constant)
+
+    def __add__(self, other: object) -> "LinExpr":
+        other_expr = self._coerce(other)
+        result = self.copy()
+        for var, coef in other_expr.coefficients.items():
+            result.coefficients[var] = result.coefficients.get(var, 0.0) + coef
+        result.constant += other_expr.constant
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return self + (self._coerce(other) * -1)
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return (self * -1) + other
+
+    def __mul__(self, factor: object) -> "LinExpr":
+        if isinstance(factor, (int, float)):
+            return LinExpr(
+                {var: coef * factor for var, coef in self.coefficients.items()},
+                self.constant * factor,
+            )
+        raise ILPError("linear expressions can only be multiplied by numbers")
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1
+
+    def __le__(self, other: object) -> "Constraint":
+        diff = self - other
+        return Constraint(diff, upper=0.0)
+
+    def __ge__(self, other: object) -> "Constraint":
+        diff = self - other
+        return Constraint(diff, lower=0.0)
+
+    def value(self, solution: Mapping[Variable, float]) -> float:
+        """Evaluate the expression against a variable-value mapping."""
+        return self.constant + sum(
+            coef * solution.get(var, 0.0) for var, coef in self.coefficients.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.coefficients.items()]
+        if self.constant:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts) if parts else "0"
+
+
+@dataclass
+class Constraint:
+    """A two-sided linear constraint ``lower ≤ expression ≤ upper``.
+
+    Constraints produced by ``expr <= rhs`` / ``expr >= rhs`` store the
+    moved-over right-hand side inside the expression's constant; the
+    ``lower``/``upper`` bounds then apply to the whole expression.
+    """
+
+    expression: LinExpr
+    lower: float = -math.inf
+    upper: float = math.inf
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ILPError(f"constraint {self.name!r} has empty bounds")
+
+    def normalised(self) -> Tuple[Dict[Variable, float], float, float]:
+        """Return (coefficients, lower, upper) with the constant folded into bounds."""
+        constant = self.expression.constant
+        return (
+            dict(self.expression.coefficients),
+            self.lower - constant if math.isfinite(self.lower) else self.lower,
+            self.upper - constant if math.isfinite(self.upper) else self.upper,
+        )
+
+    def satisfied_by(self, solution: Mapping[Variable, float], tolerance: float = 1e-6) -> bool:
+        """Check whether a candidate solution satisfies the constraint."""
+        value = self.expression.value(solution)
+        return self.lower - tolerance <= value <= self.upper + tolerance
+
+
+class Model:
+    """An ILP model: variables, constraints and an optional linear objective."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.sense: str = MINIMIZE
+
+    # -- building ------------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lower: Number = 0.0,
+        upper: Number = math.inf,
+        is_integer: bool = False,
+    ) -> Variable:
+        """Create a variable, register it and return it."""
+        variable = Variable(name, lower, upper, is_integer, index=len(self.variables))
+        self.variables.append(variable)
+        return variable
+
+    def add_binary(self, name: str) -> Variable:
+        """Create a 0/1 integer variable."""
+        return self.add_variable(name, 0, 1, is_integer=True)
+
+    def add_integer(self, name: str, lower: Number = 0, upper: Number = math.inf) -> Variable:
+        """Create a general integer variable."""
+        return self.add_variable(name, lower, upper, is_integer=True)
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint (optionally renaming it) and return it."""
+        if name:
+            constraint.name = name
+        for var in constraint.expression.coefficients:
+            if not isinstance(var, Variable):
+                raise ILPError("constraints may only mention Variable objects")
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expression: object, sense: str = MINIMIZE) -> None:
+        """Set the linear objective and optimisation sense."""
+        if sense not in (MINIMIZE, MAXIMIZE):
+            raise ILPError(f"unknown optimisation sense {sense!r}")
+        self.objective = LinExpr._coerce(expression)
+        self.sense = sense
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        """Number of registered variables."""
+        return len(self.variables)
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of registered constraints."""
+        return len(self.constraints)
+
+    @property
+    def n_integer_variables(self) -> int:
+        """Number of integer (including binary) variables."""
+        return sum(1 for v in self.variables if v.is_integer)
+
+    def statistics(self) -> Dict[str, int]:
+        """Return size statistics (useful for the scalability experiments)."""
+        nonzeros = sum(len(c.expression.coefficients) for c in self.constraints)
+        return {
+            "variables": self.n_variables,
+            "integer_variables": self.n_integer_variables,
+            "constraints": self.n_constraints,
+            "nonzeros": nonzeros,
+        }
+
+    def check_solution(self, values: Mapping[Variable, float], tolerance: float = 1e-6) -> bool:
+        """Verify bounds, integrality and every constraint for a candidate solution."""
+        for variable in self.variables:
+            value = values.get(variable, 0.0)
+            if value < variable.lower - tolerance or value > variable.upper + tolerance:
+                return False
+            if variable.is_integer and abs(value - round(value)) > tolerance:
+                return False
+        return all(c.satisfied_by(values, tolerance) for c in self.constraints)
+
+    # -- matrix form -----------------------------------------------------------
+    def to_arrays(self, sparse: bool = True) -> Dict[str, object]:
+        """Convert the model to the arrays used by the SciPy backends.
+
+        Returns a dict with objective vector ``c`` (sign-adjusted so the
+        problem is always a minimisation), constraint matrix ``A`` (a sparse
+        CSR matrix by default — the sort-refinement encodings can have tens
+        of thousands of rows and columns), constraint bounds ``cl``/``cu``,
+        variable bounds ``xl``/``xu`` and the integrality vector.
+        """
+        from scipy import sparse as sp
+
+        n = self.n_variables
+        c = np.zeros(n)
+        for var, coef in self.objective.coefficients.items():
+            c[var.index] = coef
+        if self.sense == MAXIMIZE:
+            c = -c
+        m = self.n_constraints
+        rows: List[int] = []
+        cols: List[int] = []
+        values: List[float] = []
+        cl = np.full(m, -np.inf)
+        cu = np.full(m, np.inf)
+        for row, constraint in enumerate(self.constraints):
+            coefficients, lower, upper = constraint.normalised()
+            for var, coef in coefficients.items():
+                rows.append(row)
+                cols.append(var.index)
+                values.append(coef)
+            cl[row] = lower
+            cu[row] = upper
+        matrix = sp.csr_matrix((values, (rows, cols)), shape=(m, n))
+        A: object = matrix if sparse else matrix.toarray()
+        xl = np.array([v.lower for v in self.variables], dtype=float)
+        xu = np.array([v.upper for v in self.variables], dtype=float)
+        integrality = np.array([1 if v.is_integer else 0 for v in self.variables])
+        return {
+            "c": c,
+            "A": A,
+            "cl": cl,
+            "cu": cu,
+            "xl": xl,
+            "xu": xu,
+            "integrality": integrality,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Model{label}: {self.n_variables} variables "
+            f"({self.n_integer_variables} integer), {self.n_constraints} constraints>"
+        )

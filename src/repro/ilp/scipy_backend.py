@@ -1,0 +1,108 @@
+"""MILP backend built on ``scipy.optimize.milp`` (the HiGHS solver).
+
+The paper uses IBM ILOG CPLEX 12.5; HiGHS plays the same role here: an
+exact branch-and-cut MILP solver.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.exceptions import ILPError
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution, SolveStatus
+
+__all__ = ["ScipyMilpSolver", "solve_with_scipy"]
+
+
+class ScipyMilpSolver:
+    """Solve :class:`~repro.ilp.model.Model` instances with HiGHS via SciPy.
+
+    Parameters
+    ----------
+    time_limit:
+        Optional wall-clock limit in seconds passed to HiGHS.
+    mip_rel_gap:
+        Relative optimality gap; 0 (the default) asks for proven optimality.
+    verbose:
+        Print HiGHS output (useful when debugging big encodings).
+    """
+
+    name = "scipy-highs"
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        mip_rel_gap: float = 0.0,
+        verbose: bool = False,
+    ):
+        self.time_limit = time_limit
+        self.mip_rel_gap = mip_rel_gap
+        self.verbose = verbose
+
+    def solve(self, model: Model) -> Solution:
+        """Solve ``model`` and return a :class:`Solution`."""
+        if model.n_variables == 0:
+            # Degenerate but legal: an empty model is trivially optimal.
+            return Solution(status=SolveStatus.OPTIMAL, objective=0.0, backend=self.name)
+        arrays = model.to_arrays(sparse=True)
+        constraints = []
+        if model.n_constraints > 0:
+            constraints.append(LinearConstraint(arrays["A"], arrays["cl"], arrays["cu"]))
+        bounds = Bounds(arrays["xl"], arrays["xu"])
+        options = {"disp": self.verbose, "mip_rel_gap": self.mip_rel_gap}
+        if self.time_limit is not None:
+            options["time_limit"] = float(self.time_limit)
+        started = time.perf_counter()
+        try:
+            result = milp(
+                c=arrays["c"],
+                constraints=constraints,
+                integrality=arrays["integrality"],
+                bounds=bounds,
+                options=options,
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            raise ILPError(f"scipy.optimize.milp failed: {error}") from error
+        elapsed = time.perf_counter() - started
+
+        status = _translate_status(result)
+        values = {}
+        objective = None
+        if result.x is not None:
+            values = {var: float(result.x[var.index]) for var in model.variables}
+            objective = float(model.objective.value(values))
+        return Solution(
+            status=status,
+            values=values,
+            objective=objective,
+            solve_time=elapsed,
+            backend=self.name,
+            message=str(getattr(result, "message", "")),
+        )
+
+
+def _translate_status(result) -> str:
+    """Map the SciPy/HiGHS status codes onto :class:`SolveStatus`."""
+    # scipy.optimize.milp: status 0 = optimal, 1 = iteration/time limit,
+    # 2 = infeasible, 3 = unbounded, 4 = other.
+    status_code = int(getattr(result, "status", 4))
+    if status_code == 0:
+        return SolveStatus.OPTIMAL
+    if status_code == 1:
+        return SolveStatus.FEASIBLE if result.x is not None else SolveStatus.TIME_LIMIT
+    if status_code == 2:
+        return SolveStatus.INFEASIBLE
+    if status_code == 3:
+        return SolveStatus.UNBOUNDED
+    return SolveStatus.ERROR
+
+
+def solve_with_scipy(model: Model, **kwargs) -> Solution:
+    """Convenience wrapper: build a :class:`ScipyMilpSolver` and solve ``model``."""
+    return ScipyMilpSolver(**kwargs).solve(model)

@@ -1,0 +1,77 @@
+"""Solver-independent representation of ILP solve results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import InfeasibleError
+from repro.ilp.model import Variable
+
+__all__ = ["SolveStatus", "Solution"]
+
+
+class SolveStatus:
+    """String constants describing the outcome of a solve."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"
+    ERROR = "error"
+
+
+@dataclass
+class Solution:
+    """The result of solving an ILP model.
+
+    Attributes
+    ----------
+    status:
+        One of the :class:`SolveStatus` constants.
+    values:
+        Mapping from variable to its value (empty when infeasible).
+    objective:
+        Objective value in the model's own sense (``None`` when unavailable).
+    solve_time:
+        Wall-clock seconds spent inside the backend.
+    backend:
+        Name of the backend that produced the solution.
+    message:
+        Free-form diagnostic from the backend.
+    """
+
+    status: str
+    values: Dict[Variable, float] = field(default_factory=dict)
+    objective: Optional[float] = None
+    solve_time: float = 0.0
+    backend: str = ""
+    message: str = ""
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether the backend produced a (possibly sub-optimal) feasible point."""
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    def value(self, variable: Variable, default: float = 0.0) -> float:
+        """Return the value of ``variable`` (``default`` when missing)."""
+        return self.values.get(variable, default)
+
+    def int_value(self, variable: Variable, default: int = 0) -> int:
+        """Return the value of ``variable`` rounded to the nearest integer."""
+        if variable not in self.values:
+            return default
+        return int(round(self.values[variable]))
+
+    def require_feasible(self) -> "Solution":
+        """Return ``self`` or raise :class:`InfeasibleError` if not feasible."""
+        if not self.is_feasible:
+            raise InfeasibleError(
+                f"model is {self.status}" + (f": {self.message}" if self.message else "")
+            )
+        return self
+
+    def restricted_to(self, variables: Mapping[str, Variable]) -> Dict[str, float]:
+        """Return a name -> value mapping for the given named variables."""
+        return {name: self.value(var) for name, var in variables.items()}

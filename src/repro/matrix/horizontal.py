@@ -1,0 +1,130 @@
+"""ASCII rendering of the "horizontal table" view of an RDF graph.
+
+Figures 2, 3, 4, 5, 6 and 7 of the paper visualise a dataset (or an
+implicit sort) as its horizontal table: one column per property, rows
+grouped into signature sets ordered by decreasing size, black cells for
+present properties and white cells for nulls.  This module reproduces those
+figures as text so that the experiment harness can print recognisable
+counterparts of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.matrix.signatures import Signature, SignatureTable
+from repro.rdf.terms import URI
+
+__all__ = ["render_signature_table", "render_refinement", "signature_block_rows"]
+
+
+def _short_name(prop: URI, width: int) -> str:
+    name = prop.local_name if isinstance(prop, URI) else str(prop)
+    return name[:width]
+
+
+def signature_block_rows(table: SignatureTable, max_rows: int) -> List[tuple]:
+    """Compute (signature, display_rows) pairs scaled to at most ``max_rows`` rows.
+
+    Every signature set is given a number of display rows proportional to
+    its size (at least one row), so the rendering conveys relative sizes
+    like the paper's figures do.
+    """
+    total = table.n_subjects
+    if total == 0:
+        return []
+    blocks: List[tuple] = []
+    for signature in table.signatures:
+        count = table.count(signature)
+        rows = max(1, int(round(max_rows * count / total)))
+        blocks.append((signature, rows))
+    return blocks
+
+
+def render_signature_table(
+    table: SignatureTable,
+    max_rows: int = 24,
+    cell_full: str = "#",
+    cell_empty: str = ".",
+    show_counts: bool = True,
+    show_header: bool = True,
+    properties: Optional[Sequence[URI]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a signature table as an ASCII horizontal-table figure.
+
+    Parameters
+    ----------
+    table:
+        The signature table to draw.
+    max_rows:
+        Approximate number of data rows in the rendering.
+    cell_full / cell_empty:
+        Characters used for 1-cells ("black") and 0-cells ("white").
+    show_counts:
+        Append the signature-set size to the right of each block.
+    show_header:
+        Print a compact property header above the matrix.
+    properties:
+        Optional explicit column order (defaults to the table's order).
+        Allowing an explicit order lets refinements be drawn with the same
+        columns as the parent dataset, as in the paper's figures.
+    title:
+        Optional title line.
+    """
+    props = tuple(properties) if properties is not None else table.properties
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if show_header:
+        width = max((len(p.local_name if isinstance(p, URI) else str(p)) for p in props), default=0)
+        width = min(width, 18)
+        for offset in range(width):
+            header_chars = []
+            for p in props:
+                name = _short_name(p, width).ljust(width)
+                header_chars.append(name[offset])
+            lines.append("  " + " ".join(header_chars))
+        lines.append("  " + "-" * max(1, 2 * len(props) - 1))
+    for signature, rows in signature_block_rows(table, max_rows):
+        row_cells = " ".join(cell_full if p in signature else cell_empty for p in props)
+        for i in range(rows):
+            suffix = ""
+            if show_counts and i == 0:
+                suffix = f"   |{table.count(signature)}|"
+            lines.append("  " + row_cells + suffix)
+    if show_counts:
+        lines.append(
+            f"  ({table.n_subjects} subjects, {table.n_properties} properties, "
+            f"{table.n_signatures} signatures)"
+        )
+    return "\n".join(lines)
+
+
+def render_refinement(
+    parts: Sequence[SignatureTable],
+    parent_properties: Optional[Sequence[URI]] = None,
+    max_rows: int = 16,
+    labels: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render the implicit sorts of a refinement side by side (stacked).
+
+    Mirrors the paper's sub-figures: every implicit sort is drawn with the
+    *same* columns as the parent dataset for easy comparison, even when an
+    implicit sort does not use a column.
+    """
+    sections: List[str] = []
+    if title:
+        sections.append(title)
+    for index, part in enumerate(parts):
+        label = labels[index] if labels is not None and index < len(labels) else f"implicit sort {index + 1}"
+        sections.append(
+            render_signature_table(
+                part,
+                max_rows=max_rows,
+                properties=parent_properties,
+                title=f"[{label}]",
+            )
+        )
+    return "\n\n".join(sections)

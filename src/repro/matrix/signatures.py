@@ -1,0 +1,418 @@
+"""Signatures and signature tables.
+
+Definition 4.1 of the paper: the *signature* of a subject ``s`` in ``D`` is
+the function ``sig(s, D) : P(D) → {0, 1}`` telling which properties ``s``
+has.  A *signature set* is the set of subjects sharing a signature, and its
+*size* is the number of such subjects.
+
+Signatures are the workhorse of the whole approach: every structuredness
+function used in the paper depends on ``M(D)`` only through the multiset of
+signatures, and the ILP encoding assigns whole signature sets (not
+individual entities) to implicit sorts.  Representing a 790,703-subject
+dataset by its 64 signatures is the "view of our input data that still
+maintains all the properties of the data in terms of their fitness
+characteristics, yet occupies substantially less space".
+
+In this library a signature is simply a ``frozenset`` of property URIs (its
+support), and :class:`SignatureTable` maps each signature to its size and,
+optionally, to the concrete member subjects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import RDFError
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import URI, coerce_uri
+
+__all__ = ["Signature", "SignatureTable", "signature_key"]
+
+#: A signature is represented by its support: the frozenset of properties set to 1.
+Signature = FrozenSet[URI]
+
+
+def signature_key(signature: Signature) -> Tuple[str, ...]:
+    """A deterministic sort key for signatures (sorted property strings)."""
+    return tuple(sorted(str(p) for p in signature))
+
+
+class SignatureTable:
+    """The signature view of an RDF graph: signature -> size (+ optional members).
+
+    Parameters
+    ----------
+    properties:
+        The property universe ``P(D)`` (column order is preserved and used
+        for matrix expansion and rendering).
+    counts:
+        Mapping from signature (frozenset of properties) to the number of
+        subjects with that signature.  Every property mentioned by a
+        signature must belong to ``properties``.
+    members:
+        Optional mapping from signature to the list of member subjects.
+        When provided, lengths must agree with ``counts``; it allows
+        refinements computed at the signature level to be mapped back to
+        concrete entities and triples.
+    name:
+        Optional human-readable dataset name.
+    """
+
+    __slots__ = ("_properties", "_signatures", "_counts", "_members", "name")
+
+    def __init__(
+        self,
+        properties: Sequence[URI],
+        counts: Mapping[Signature, int],
+        members: Optional[Mapping[Signature, Sequence[URI]]] = None,
+        name: str = "",
+    ):
+        self._properties: Tuple[URI, ...] = tuple(coerce_uri(p) for p in properties)
+        if len(set(self._properties)) != len(self._properties):
+            raise RDFError("duplicate properties in signature table")
+        property_set = set(self._properties)
+
+        normalised: Dict[Signature, int] = {}
+        for signature, count in counts.items():
+            sig = frozenset(coerce_uri(p) for p in signature)
+            if not sig <= property_set:
+                missing = sorted(str(p) for p in sig - property_set)
+                raise RDFError(f"signature uses unknown properties: {missing}")
+            if count < 0:
+                raise RDFError("signature counts must be non-negative")
+            if count == 0:
+                continue
+            normalised[sig] = normalised.get(sig, 0) + int(count)
+
+        # Deterministic order: largest signature sets first (as in the
+        # paper's figures), ties broken by the property names.
+        ordered = sorted(normalised.items(), key=lambda item: (-item[1], signature_key(item[0])))
+        self._signatures: Tuple[Signature, ...] = tuple(sig for sig, _ in ordered)
+        self._counts: Dict[Signature, int] = dict(ordered)
+
+        self._members: Optional[Dict[Signature, Tuple[URI, ...]]] = None
+        if members is not None:
+            collected: Dict[Signature, Tuple[URI, ...]] = {}
+            for signature, subject_list in members.items():
+                sig = frozenset(coerce_uri(p) for p in signature)
+                if sig not in self._counts:
+                    if not subject_list:
+                        continue
+                    raise RDFError(f"members given for unknown signature {signature_key(sig)}")
+                collected[sig] = tuple(coerce_uri(s) for s in subject_list)
+            for sig, count in self._counts.items():
+                if sig not in collected:
+                    raise RDFError("members mapping must cover every signature")
+                if len(collected[sig]) != count:
+                    raise RDFError(
+                        f"signature {signature_key(sig)} has count {count} but "
+                        f"{len(collected[sig])} members"
+                    )
+            self._members = collected
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_matrix(cls, matrix: PropertyMatrix, name: Optional[str] = None) -> "SignatureTable":
+        """Group the rows of a :class:`PropertyMatrix` into signature sets."""
+        counts: Dict[Signature, int] = {}
+        members: Dict[Signature, List[URI]] = {}
+        data = matrix.data
+        properties = matrix.properties
+        for i, subject in enumerate(matrix.subjects):
+            row = data[i]
+            signature = frozenset(p for j, p in enumerate(properties) if row[j])
+            counts[signature] = counts.get(signature, 0) + 1
+            members.setdefault(signature, []).append(subject)
+        return cls(
+            properties,
+            counts,
+            members={sig: tuple(subs) for sig, subs in members.items()},
+            name=name if name is not None else matrix.name,
+        )
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: RDFGraph,
+        exclude_type: bool = True,
+        properties: Optional[Sequence[URI]] = None,
+        name: Optional[str] = None,
+    ) -> "SignatureTable":
+        """Build the signature table of an RDF graph (via its property matrix)."""
+        matrix = PropertyMatrix.from_graph(
+            graph, exclude_type=exclude_type, properties=properties
+        )
+        return cls.from_matrix(matrix, name=name if name is not None else graph.name)
+
+    @classmethod
+    def from_counts(
+        cls,
+        properties: Sequence[URI],
+        counts: Mapping[Iterable[URI], int],
+        name: str = "",
+    ) -> "SignatureTable":
+        """Build a table directly from (property-collection -> count) pairs."""
+        normalised = {frozenset(coerce_uri(p) for p in sig): count for sig, count in counts.items()}
+        return cls(properties, normalised, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def properties(self) -> Tuple[URI, ...]:
+        """The property universe ``P(D)`` in column order."""
+        return self._properties
+
+    @property
+    def signatures(self) -> Tuple[Signature, ...]:
+        """All signatures, largest signature set first."""
+        return self._signatures
+
+    @property
+    def n_signatures(self) -> int:
+        """Number of distinct signatures ``|Λ(D)|``."""
+        return len(self._signatures)
+
+    @property
+    def n_properties(self) -> int:
+        """Number of properties ``|P(D)|``."""
+        return len(self._properties)
+
+    @property
+    def n_subjects(self) -> int:
+        """Total number of subjects ``|S(D)|``."""
+        return sum(self._counts.values())
+
+    @property
+    def has_members(self) -> bool:
+        """Whether concrete member subjects are tracked."""
+        return self._members is not None
+
+    def count(self, signature: Iterable[URI]) -> int:
+        """Return the size of the signature set for ``signature`` (0 if absent)."""
+        return self._counts.get(frozenset(coerce_uri(p) for p in signature), 0)
+
+    def counts(self) -> Dict[Signature, int]:
+        """Return a copy of the signature -> size mapping."""
+        return dict(self._counts)
+
+    def support(self, signature: Signature) -> Signature:
+        """Return ``supp(µ)``, i.e. the signature itself as a property set."""
+        return signature
+
+    def members_of(self, signature: Iterable[URI]) -> Tuple[URI, ...]:
+        """Return the member subjects of a signature set (requires members)."""
+        if self._members is None:
+            raise RDFError("this signature table does not track member subjects")
+        return self._members.get(frozenset(coerce_uri(p) for p in signature), ())
+
+    def signature_of(self, subject: object) -> Signature:
+        """Return the signature of a tracked subject (requires members)."""
+        if self._members is None:
+            raise RDFError("this signature table does not track member subjects")
+        target = coerce_uri(subject)
+        for signature, subjects in self._members.items():
+            if target in subjects:
+                return signature
+        raise RDFError(f"subject {subject!r} is not tracked by this signature table")
+
+    # ------------------------------------------------------------------ #
+    # Aggregates used by the closed-form structuredness functions
+    # ------------------------------------------------------------------ #
+    def n_cells(self) -> int:
+        """``|S(D)| * |P(D)|``, the denominator of Cov."""
+        return self.n_subjects * self.n_properties
+
+    def n_ones(self) -> int:
+        """Total number of (subject, property) facts: ``sum_µ |S(µ)| * |supp(µ)|``."""
+        return sum(count * len(sig) for sig, count in self._counts.items())
+
+    def property_count(self, prop: object) -> int:
+        """Number of subjects that have ``prop``."""
+        p = coerce_uri(prop)
+        return sum(count for sig, count in self._counts.items() if p in sig)
+
+    def property_counts(self) -> Dict[URI, int]:
+        """Mapping property -> number of subjects having it."""
+        totals = {p: 0 for p in self._properties}
+        for sig, count in self._counts.items():
+            for p in sig:
+                totals[p] += count
+        return totals
+
+    def both_count(self, prop1: object, prop2: object) -> int:
+        """Number of subjects having both properties."""
+        p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
+        return sum(count for sig, count in self._counts.items() if p1 in sig and p2 in sig)
+
+    def either_count(self, prop1: object, prop2: object) -> int:
+        """Number of subjects having at least one of the two properties."""
+        p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
+        return sum(count for sig, count in self._counts.items() if p1 in sig or p2 in sig)
+
+    def count_vector(self) -> np.ndarray:
+        """Signature-set sizes as an integer vector aligned with :attr:`signatures`."""
+        return np.array([self._counts[sig] for sig in self._signatures], dtype=np.int64)
+
+    def support_matrix(self) -> np.ndarray:
+        """Boolean matrix of shape (n_signatures, n_properties): signature supports."""
+        data = np.zeros((self.n_signatures, self.n_properties), dtype=bool)
+        property_index = {p: j for j, p in enumerate(self._properties)}
+        for i, sig in enumerate(self._signatures):
+            for p in sig:
+                data[i, property_index[p]] = True
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Derived tables
+    # ------------------------------------------------------------------ #
+    def select(self, signatures: Iterable[Signature], name: str = "") -> "SignatureTable":
+        """Return the sub-table containing only the given signatures.
+
+        This is how an implicit sort is represented at the signature level:
+        the property universe is restricted to the union of supports of the
+        selected signatures (the properties the implicit sort *uses*, i.e.
+        the paper's ``U_{i,p}`` variables set to 1), which is exactly what
+        evaluating ``σ_r`` over the implicit sort requires.
+        """
+        wanted = [frozenset(coerce_uri(p) for p in sig) for sig in signatures]
+        unknown = [sig for sig in wanted if sig not in self._counts]
+        if unknown:
+            raise RDFError(f"unknown signatures requested: {[signature_key(s) for s in unknown]}")
+        used: set = set()
+        for sig in wanted:
+            used |= sig
+        properties = tuple(p for p in self._properties if p in used)
+        counts = {sig: self._counts[sig] for sig in wanted}
+        members = None
+        if self._members is not None:
+            members = {sig: self._members[sig] for sig in wanted}
+        return SignatureTable(properties, counts, members=members, name=name or self.name)
+
+    def restrict_properties(self, properties: Iterable[URI], name: str = "") -> "SignatureTable":
+        """Project the table onto a property subset, merging equal signatures.
+
+        Used by rules that ignore some properties (e.g. the modified Cov
+        rule of Section 7.4 that drops the RDF-syntax properties).
+        """
+        keep = [coerce_uri(p) for p in properties]
+        keep_set = set(keep)
+        counts: Dict[Signature, int] = {}
+        members: Optional[Dict[Signature, List[URI]]] = {} if self._members is not None else None
+        for sig, count in self._counts.items():
+            projected = frozenset(p for p in sig if p in keep_set)
+            counts[projected] = counts.get(projected, 0) + count
+            if members is not None:
+                members.setdefault(projected, []).extend(self._members[sig])
+        member_arg = None
+        if members is not None:
+            member_arg = {sig: tuple(subs) for sig, subs in members.items()}
+        ordered_props = tuple(p for p in self._properties if p in keep_set)
+        extra = tuple(p for p in keep if p not in self._properties)
+        return SignatureTable(ordered_props + extra, counts, members=member_arg, name=name or self.name)
+
+    def merge(self, other: "SignatureTable", name: str = "") -> "SignatureTable":
+        """Return the union of two signature tables (summing counts).
+
+        Member subjects are kept only when both tables track them.
+        """
+        properties = list(self._properties)
+        for p in other.properties:
+            if p not in properties:
+                properties.append(p)
+        counts: Dict[Signature, int] = dict(self._counts)
+        for sig, count in other.counts().items():
+            counts[sig] = counts.get(sig, 0) + count
+        members = None
+        if self._members is not None and other._members is not None:
+            members_acc: Dict[Signature, List[URI]] = {
+                sig: list(subs) for sig, subs in self._members.items()
+            }
+            for sig, subs in other._members.items():
+                members_acc.setdefault(sig, []).extend(subs)
+            members = {sig: tuple(subs) for sig, subs in members_acc.items()}
+        return SignatureTable(properties, counts, members=members, name=name)
+
+    def scale(self, factor: float, minimum: int = 1, name: str = "") -> "SignatureTable":
+        """Return a table with every signature-set size multiplied by ``factor``.
+
+        Sizes are rounded and floored at ``minimum`` so that no signature
+        disappears.  Member subjects are dropped (they no longer exist).
+        Used to produce laptop-scale versions of the paper's datasets whose
+        structuredness values match the full-scale ones closely (all the
+        functions are ratios of counts, so uniform scaling preserves them
+        up to rounding).
+        """
+        if factor <= 0:
+            raise RDFError("scale factor must be positive")
+        counts = {
+            sig: max(minimum, int(round(count * factor))) for sig, count in self._counts.items()
+        }
+        return SignatureTable(self._properties, counts, name=name or self.name)
+
+    def to_matrix(self, subject_prefix: str = "http://example.org/subject/") -> PropertyMatrix:
+        """Expand the table into a full :class:`PropertyMatrix`.
+
+        When member subjects are tracked they become the row labels;
+        otherwise synthetic subject URIs ``<prefix><i>`` are minted.
+        """
+        rows: Dict[URI, Signature] = {}
+        if self._members is not None:
+            for sig in self._signatures:
+                for subject in self._members[sig]:
+                    rows[subject] = sig
+        else:
+            index = 0
+            for sig in self._signatures:
+                for _ in range(self._counts[sig]):
+                    rows[URI(f"{subject_prefix}{index}")] = sig
+                    index += 1
+        data = np.zeros((len(rows), self.n_properties), dtype=bool)
+        property_index = {p: j for j, p in enumerate(self._properties)}
+        subjects = list(rows)
+        for i, subject in enumerate(subjects):
+            for p in rows[subject]:
+                data[i, property_index[p]] = True
+        return PropertyMatrix(data, subjects, self._properties, name=self.name)
+
+    def to_graph(self, subject_prefix: str = "http://example.org/subject/") -> RDFGraph:
+        """Expand the table into an RDF graph (via :meth:`to_matrix`)."""
+        return self.to_matrix(subject_prefix=subject_prefix).to_graph()
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __iter__(self):
+        return iter(self._signatures)
+
+    def __contains__(self, signature: object) -> bool:
+        if not isinstance(signature, (frozenset, set)):
+            return False
+        return frozenset(signature) in self._counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignatureTable):
+            return NotImplemented
+        return self._properties == other._properties and self._counts == other._counts
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<SignatureTable{label}: {self.n_subjects} subjects, "
+            f"{self.n_properties} properties, {self.n_signatures} signatures>"
+        )

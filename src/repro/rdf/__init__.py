@@ -1,0 +1,51 @@
+"""RDF substrate: terms, graphs, N-Triples I/O and sort extraction."""
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import (
+    DBPEDIA,
+    EX,
+    FOAF,
+    Namespace,
+    OWL,
+    RDF,
+    RDFS,
+    RDF_SYNTAX_PROPERTIES,
+    WORDNET,
+    YAGO,
+)
+from repro.rdf.ntriples import (
+    dump_ntriples,
+    dumps_ntriples,
+    iter_ntriples,
+    load_ntriples,
+    parse_ntriples,
+)
+from repro.rdf.sorts import Sort, extract_all_sorts, extract_sort, untyped_subjects
+from repro.rdf.terms import Literal, Term, Triple, URI
+
+__all__ = [
+    "RDFGraph",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "FOAF",
+    "DBPEDIA",
+    "WORDNET",
+    "YAGO",
+    "EX",
+    "RDF_SYNTAX_PROPERTIES",
+    "URI",
+    "Literal",
+    "Term",
+    "Triple",
+    "parse_ntriples",
+    "iter_ntriples",
+    "load_ntriples",
+    "dumps_ntriples",
+    "dump_ntriples",
+    "Sort",
+    "extract_sort",
+    "extract_all_sorts",
+    "untyped_subjects",
+]

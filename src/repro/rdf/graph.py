@@ -1,0 +1,348 @@
+"""An indexed, in-memory RDF graph (triple store).
+
+This is the storage substrate on which the whole reproduction sits.  The
+graph keeps three hash indexes (SPO, POS, OSP) so that the access patterns
+the paper needs are all O(1)/O(result):
+
+* ``S(D)``     — the set of subjects mentioned in ``D``;
+* ``P(D)``     — the set of properties mentioned in ``D``;
+* ``s has p``  — does subject ``s`` have property ``p`` in ``D``;
+* ``D_t``      — the subgraph of all triples whose subject is typed ``t``;
+* entity extraction — all triples with a given subject (an *entity* in the
+  terminology of Section 4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from repro.exceptions import RDFError
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import Literal, Term, Triple, URI, coerce_object, coerce_uri
+
+__all__ = ["RDFGraph"]
+
+
+class RDFGraph:
+    """A finite set of RDF triples with subject/predicate/object indexes.
+
+    The class behaves like a set of :class:`~repro.rdf.terms.Triple`
+    (supports ``len``, ``in``, iteration, union/difference) and adds the
+    schema-oriented accessors used throughout the paper.
+
+    Parameters
+    ----------
+    triples:
+        Optional iterable of triples (or ``(s, p, o)`` tuples of strings)
+        to load into the new graph.
+    name:
+        Optional human-readable name used in ``repr`` and reports.
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size", "name")
+
+    def __init__(self, triples: Optional[Iterable] = None, name: str = ""):
+        # subject -> predicate -> set of objects
+        self._spo: Dict[URI, Dict[URI, Set[Term]]] = defaultdict(dict)
+        # predicate -> subject -> set of objects
+        self._pos: Dict[URI, Dict[URI, Set[Term]]] = defaultdict(dict)
+        # object -> set of (subject, predicate)
+        self._osp: Dict[Term, Set[tuple]] = defaultdict(set)
+        self._size = 0
+        self.name = name
+        if triples is not None:
+            self.update(triples)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, subject: object, predicate: object = None, obj: object = None) -> bool:
+        """Add a triple; return ``True`` if the graph changed.
+
+        Accepts either a single :class:`Triple`/3-tuple argument or three
+        separate term arguments.  Plain strings are coerced to URIs.
+        """
+        if predicate is None and obj is None:
+            if isinstance(subject, Triple):
+                s, p, o = subject
+            elif isinstance(subject, tuple) and len(subject) == 3:
+                s, p, o = subject
+            else:
+                raise RDFError(
+                    "add() needs a Triple, a 3-tuple, or three separate terms"
+                )
+        else:
+            s, p, o = subject, predicate, obj
+        s = coerce_uri(s)
+        p = coerce_uri(p)
+        o = coerce_object(o)
+
+        objects = self._spo[s].setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos[p].setdefault(s, set()).add(o)
+        self._osp[o].add((s, p))
+        self._size += 1
+        return True
+
+    def update(self, triples: Iterable) -> int:
+        """Add every triple in ``triples``; return how many were new."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def remove(self, subject: object, predicate: object = None, obj: object = None) -> bool:
+        """Remove a triple; return ``True`` if it was present."""
+        if predicate is None and obj is None:
+            if isinstance(subject, (Triple, tuple)) and len(subject) == 3:
+                s, p, o = subject
+            else:
+                raise RDFError("remove() needs a Triple, a 3-tuple, or three terms")
+        else:
+            s, p, o = subject, predicate, obj
+        s = coerce_uri(s)
+        p = coerce_uri(p)
+        o = coerce_object(o)
+        objects = self._spo.get(s, {}).get(p)
+        if objects is None or o not in objects:
+            return False
+        objects.discard(o)
+        if not objects:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        pos_objects = self._pos[p][s]
+        pos_objects.discard(o)
+        if not pos_objects:
+            del self._pos[p][s]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o].discard((s, p))
+        if not self._osp[o]:
+            del self._osp[o]
+        self._size -= 1
+        return True
+
+    def remove_entity(self, subject: object) -> int:
+        """Remove every triple whose subject is ``subject``; return the count."""
+        s = coerce_uri(subject)
+        removed = 0
+        for triple in list(self.triples_for_subject(s)):
+            if self.remove(triple):
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Remove every triple from the graph."""
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # Set-like protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, triple: object) -> bool:
+        if not isinstance(triple, (Triple, tuple)) or len(triple) != 3:
+            return False
+        s, p, o = triple
+        try:
+            s = coerce_uri(s)
+            p = coerce_uri(p)
+            o = coerce_object(o)
+        except RDFError:
+            return False
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def __iter__(self) -> Iterator[Triple]:
+        for s, predicates in self._spo.items():
+            for p, objects in predicates.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RDFGraph):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(triple in other for triple in self)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __or__(self, other: "RDFGraph") -> "RDFGraph":
+        result = self.copy()
+        result.update(other)
+        return result
+
+    def __sub__(self, other: "RDFGraph") -> "RDFGraph":
+        result = RDFGraph(name=self.name)
+        for triple in self:
+            if triple not in other:
+                result.add(triple)
+        return result
+
+    def __and__(self, other: "RDFGraph") -> "RDFGraph":
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        result = RDFGraph(name=self.name)
+        for triple in small:
+            if triple in large:
+                result.add(triple)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"<RDFGraph{label}: {self._size} triples, {len(self._spo)} subjects>"
+
+    def copy(self, name: Optional[str] = None) -> "RDFGraph":
+        """Return a shallow copy of the graph (triples are immutable)."""
+        return RDFGraph(self, name=self.name if name is None else name)
+
+    def isdisjoint(self, other: "RDFGraph") -> bool:
+        """Return ``True`` when the two graphs share no triple."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return not any(triple in large for triple in small)
+
+    # ------------------------------------------------------------------ #
+    # Pattern matching
+    # ------------------------------------------------------------------ #
+    def triples(
+        self,
+        subject: object = None,
+        predicate: object = None,
+        obj: object = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern (``None`` is a wildcard)."""
+        s = coerce_uri(subject) if subject is not None else None
+        p = coerce_uri(predicate) if predicate is not None else None
+        o = coerce_object(obj) if obj is not None else None
+
+        if s is not None:
+            predicates = self._spo.get(s, {})
+            candidates = [p] if p is not None else list(predicates)
+            for pred in candidates:
+                for value in predicates.get(pred, ()):
+                    if o is None or value == o:
+                        yield Triple(s, pred, value)
+        elif p is not None:
+            for subj, objects in self._pos.get(p, {}).items():
+                for value in objects:
+                    if o is None or value == o:
+                        yield Triple(subj, p, value)
+        elif o is not None:
+            for subj, pred in self._osp.get(o, ()):
+                yield Triple(subj, pred, o)
+        else:
+            yield from iter(self)
+
+    def triples_for_subject(self, subject: object) -> Iterator[Triple]:
+        """Yield the *entity* of ``subject``: every triple with that subject."""
+        return self.triples(subject=subject)
+
+    def objects(self, subject: object, predicate: object) -> Set[Term]:
+        """Return the set of objects for a (subject, predicate) pair."""
+        s = coerce_uri(subject)
+        p = coerce_uri(predicate)
+        return set(self._spo.get(s, {}).get(p, ()))
+
+    def value(self, subject: object, predicate: object) -> Optional[Term]:
+        """Return an arbitrary object for (subject, predicate), or ``None``."""
+        objects = self.objects(subject, predicate)
+        return next(iter(objects)) if objects else None
+
+    # ------------------------------------------------------------------ #
+    # Schema-oriented accessors (Section 2.1)
+    # ------------------------------------------------------------------ #
+    def subjects(self) -> Set[URI]:
+        """Return ``S(D)``: the set of subjects mentioned in the graph."""
+        return set(self._spo)
+
+    def properties(self, exclude_type: bool = False) -> Set[URI]:
+        """Return ``P(D)``: the set of properties mentioned in the graph.
+
+        When ``exclude_type`` is true, ``rdf:type`` is removed, matching the
+        paper's convention of reporting property counts "excluding the type
+        property".
+        """
+        props = set(self._pos)
+        if exclude_type:
+            props.discard(RDF.type)
+        return props
+
+    def has_property(self, subject: object, predicate: object) -> bool:
+        """Return ``True`` iff ``subject`` has ``predicate`` in the graph."""
+        s = coerce_uri(subject)
+        p = coerce_uri(predicate)
+        return bool(self._spo.get(s, {}).get(p))
+
+    def properties_of(self, subject: object, exclude_type: bool = False) -> Set[URI]:
+        """Return the set of properties that ``subject`` has."""
+        s = coerce_uri(subject)
+        props = set(self._spo.get(s, {}))
+        if exclude_type:
+            props.discard(RDF.type)
+        return props
+
+    def subjects_with_property(self, predicate: object) -> Set[URI]:
+        """Return every subject that has ``predicate``."""
+        p = coerce_uri(predicate)
+        return set(self._pos.get(p, {}))
+
+    def sorts_of(self, subject: object) -> Set[Term]:
+        """Return the declared sorts (``rdf:type`` objects) of ``subject``."""
+        return self.objects(subject, RDF.type)
+
+    def all_sorts(self) -> Set[Term]:
+        """Return every sort ``t`` such that some ``(s, type, t)`` triple exists."""
+        sorts: Set[Term] = set()
+        for objects in self._pos.get(RDF.type, {}).values():
+            sorts.update(objects)
+        return sorts
+
+    def sort_subgraph(self, sort: object, name: Optional[str] = None) -> "RDFGraph":
+        """Return ``D_t``: all triples whose subject is declared of sort ``sort``.
+
+        This is the subgraph the paper denotes ``D_t = {(s, p, o) ∈ D |
+        (s, type, t) ∈ D}``.
+        """
+        t = coerce_object(sort)
+        result = RDFGraph(name=name if name is not None else f"{self.name}[{t}]")
+        for subj, objects in self._pos.get(RDF.type, {}).items():
+            if t in objects:
+                for triple in self.triples_for_subject(subj):
+                    result.add(triple)
+        return result
+
+    def entity_subgraph(self, subjects: Iterable, name: str = "") -> "RDFGraph":
+        """Return the subgraph of all triples whose subject is in ``subjects``."""
+        result = RDFGraph(name=name)
+        for subject in subjects:
+            for triple in self.triples_for_subject(subject):
+                result.add(triple)
+        return result
+
+    def describe(self) -> Dict[str, int]:
+        """Return summary statistics (triples, subjects, properties, literals)."""
+        literal_count = sum(1 for o in self._osp if isinstance(o, Literal))
+        return {
+            "triples": self._size,
+            "subjects": len(self._spo),
+            "properties": len(self._pos),
+            "properties_excluding_type": len(self.properties(exclude_type=True)),
+            "distinct_objects": len(self._osp),
+            "distinct_literals": literal_count,
+            "sorts": len(self.all_sorts()),
+        }

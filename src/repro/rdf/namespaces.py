@@ -1,0 +1,82 @@
+"""Well-known RDF namespaces and the vocabulary used by the paper.
+
+The only constant the formal development relies on is ``rdf:type``
+(written simply ``type`` in the paper), but the experiments also mention
+FOAF (``foaf:Person`` for DBpedia Persons), the WordNet schema, DBpedia
+ontology properties, and the RDF-syntax properties that the modified Cov
+rule of Section 7.4 ignores (``type``, ``sameAs``, ``subClassOf``,
+``label``).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import URI
+
+__all__ = [
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "FOAF",
+    "DBPEDIA",
+    "WORDNET",
+    "YAGO",
+    "EX",
+    "RDF_SYNTAX_PROPERTIES",
+]
+
+
+class Namespace:
+    """A URI prefix that mints member URIs via attribute or item access.
+
+    >>> ns = Namespace("http://example.org/")
+    >>> ns.name
+    URI('http://example.org/name')
+    >>> ns["first name"]
+    URI('http://example.org/first name')
+    """
+
+    def __init__(self, prefix: str):
+        self._prefix = str(prefix)
+
+    @property
+    def prefix(self) -> str:
+        """The namespace prefix string."""
+        return self._prefix
+
+    def term(self, name: str) -> URI:
+        """Return the URI obtained by appending ``name`` to the prefix."""
+        return URI(self._prefix + name)
+
+    def __getattr__(self, name: str) -> URI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> URI:
+        return self.term(name)
+
+    def __contains__(self, uri: object) -> bool:
+        return isinstance(uri, str) and str(uri).startswith(self._prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Namespace({self._prefix!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+DBPEDIA = Namespace("http://dbpedia.org/ontology/")
+WORDNET = Namespace("http://www.w3.org/2006/03/wn/wn20/schema/")
+YAGO = Namespace("http://yago-knowledge.org/resource/")
+EX = Namespace("http://example.org/")
+
+#: Properties "defined in the syntax of RDF" that the modified Cov rule of
+#: Section 7.4 excludes from the structuredness computation.
+RDF_SYNTAX_PROPERTIES: tuple[URI, ...] = (
+    RDF.type,
+    OWL.sameAs,
+    RDFS.subClassOf,
+    RDFS.label,
+)

@@ -1,0 +1,163 @@
+"""A small N-Triples reader and writer.
+
+The reproduction does not depend on external RDF tooling, so this module
+implements the subset of the N-Triples grammar that the synthetic datasets
+and examples need:
+
+* ``<uri> <uri> <uri> .``
+* ``<uri> <uri> "literal" .``  (with ``\\"``, ``\\n``, ``\\t``, ``\\\\`` escapes)
+* comment lines starting with ``#`` and blank lines.
+
+Blank nodes and typed/language-tagged literals are intentionally out of
+scope — the paper's data model is ``U × U × (U ∪ L)``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Union
+
+from repro.exceptions import ParseError
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import Literal, Triple, URI
+
+__all__ = [
+    "parse_ntriples",
+    "iter_ntriples",
+    "load_ntriples",
+    "dumps_ntriples",
+    "dump_ntriples",
+]
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
+def _parse_uri(text: str, position: int, line_number: int) -> tuple[URI, int]:
+    if position >= len(text) or text[position] != "<":
+        raise ParseError("expected '<' to start a URI", line=line_number, column=position + 1)
+    end = text.find(">", position + 1)
+    if end == -1:
+        raise ParseError("unterminated URI (missing '>')", line=line_number, column=position + 1)
+    value = text[position + 1 : end]
+    if not value:
+        raise ParseError("empty URI", line=line_number, column=position + 1)
+    return URI(value), end + 1
+
+
+def _parse_literal(text: str, position: int, line_number: int) -> tuple[Literal, int]:
+    if position >= len(text) or text[position] != '"':
+        raise ParseError("expected '\"' to start a literal", line=line_number, column=position + 1)
+    chars: list[str] = []
+    index = position + 1
+    while index < len(text):
+        char = text[index]
+        if char == "\\":
+            if index + 1 >= len(text):
+                raise ParseError("dangling escape in literal", line=line_number, column=index + 1)
+            escape = text[index + 1]
+            if escape not in _ESCAPES:
+                raise ParseError(
+                    f"unsupported escape '\\{escape}' in literal",
+                    line=line_number,
+                    column=index + 1,
+                )
+            chars.append(_ESCAPES[escape])
+            index += 2
+            continue
+        if char == '"':
+            index += 1
+            # Skip an optional datatype/lang suffix (^^<...> or @lang): we
+            # accept it but discard it, keeping only the lexical form.
+            if text.startswith("^^<", index):
+                closing = text.find(">", index + 3)
+                if closing == -1:
+                    raise ParseError(
+                        "unterminated datatype URI after literal",
+                        line=line_number,
+                        column=index + 1,
+                    )
+                index = closing + 1
+            elif index < len(text) and text[index] == "@":
+                while index < len(text) and text[index] not in " \t.":
+                    index += 1
+            return Literal("".join(chars)), index
+        chars.append(char)
+        index += 1
+    raise ParseError("unterminated literal", line=line_number, column=position + 1)
+
+
+def _skip_whitespace(text: str, position: int) -> int:
+    while position < len(text) and text[position] in " \t":
+        position += 1
+    return position
+
+
+def _parse_line(line: str, line_number: int) -> Triple | None:
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    position = _skip_whitespace(line, 0)
+    subject, position = _parse_uri(line, position, line_number)
+    position = _skip_whitespace(line, position)
+    predicate, position = _parse_uri(line, position, line_number)
+    position = _skip_whitespace(line, position)
+    if position < len(line) and line[position] == '"':
+        obj, position = _parse_literal(line, position, line_number)
+    else:
+        obj, position = _parse_uri(line, position, line_number)
+    position = _skip_whitespace(line, position)
+    if position >= len(line) or line[position] != ".":
+        raise ParseError("expected terminating '.'", line=line_number, column=position + 1)
+    trailing = line[position + 1 :].strip()
+    if trailing and not trailing.startswith("#"):
+        raise ParseError(
+            f"unexpected content after '.': {trailing!r}", line=line_number, column=position + 2
+        )
+    return Triple(subject, predicate, obj)
+
+
+def iter_ntriples(source: Union[str, TextIO]) -> Iterator[Triple]:
+    """Yield triples from N-Triples text or a readable text stream."""
+    stream: TextIO
+    if isinstance(source, str):
+        stream = io.StringIO(source)
+    else:
+        stream = source
+    for line_number, line in enumerate(stream, start=1):
+        triple = _parse_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def parse_ntriples(text: str, name: str = "") -> RDFGraph:
+    """Parse N-Triples ``text`` into a fresh :class:`RDFGraph`."""
+    return RDFGraph(iter_ntriples(text), name=name)
+
+
+def load_ntriples(path: Union[str, Path], name: str = "") -> RDFGraph:
+    """Load an N-Triples file from ``path`` into a fresh :class:`RDFGraph`."""
+    path = Path(path)
+    graph = RDFGraph(name=name or path.stem)
+    with path.open("r", encoding="utf-8") as handle:
+        graph.update(iter_ntriples(handle))
+    return graph
+
+
+def dumps_ntriples(triples: Iterable[Triple], sort: bool = True) -> str:
+    """Serialise ``triples`` to N-Triples text.
+
+    When ``sort`` is true (the default) the output lines are sorted, which
+    makes serialisation deterministic and diff-friendly.
+    """
+    lines = [triple.n3() for triple in triples]
+    if sort:
+        lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_ntriples(triples: Iterable[Triple], path: Union[str, Path], sort: bool = True) -> int:
+    """Write ``triples`` to ``path`` in N-Triples format; return the line count."""
+    text = dumps_ntriples(triples, sort=sort)
+    Path(path).write_text(text, encoding="utf-8")
+    return text.count("\n")

@@ -1,0 +1,171 @@
+"""RDF terms: URIs, literals, and triples.
+
+The paper models an RDF graph as a finite set of triples
+``(s, p, o) ∈ U × U × (U ∪ L)`` where ``U`` is a set of URIs and ``L`` a set
+of literals.  This module provides small immutable value types for those
+three building blocks.  They are deliberately lightweight (plain ``str``
+subclasses for terms) so that very large graphs remain cheap to hold in
+memory and hashing/equality is as fast as native string operations.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+from repro.exceptions import RDFError
+
+__all__ = ["URI", "Literal", "Term", "Triple", "coerce_uri", "coerce_object"]
+
+
+class URI(str):
+    """A URI reference (an element of the set ``U`` in the paper).
+
+    ``URI`` is a ``str`` subclass: it behaves exactly like the underlying
+    string but carries its RDF role in the type.  Two URIs are equal iff
+    their string forms are equal.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value: str) -> "URI":
+        if not isinstance(value, str):
+            raise RDFError(f"URI value must be a string, got {type(value).__name__}")
+        if not value:
+            raise RDFError("URI value must be a non-empty string")
+        return super().__new__(cls, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"URI({str.__repr__(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Literal):
+            return False
+        return str.__eq__(self, other)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = str.__hash__
+
+    def n3(self) -> str:
+        """Return the N-Triples serialisation ``<uri>``."""
+        return f"<{str(self)}>"
+
+    @property
+    def local_name(self) -> str:
+        """The fragment after the last ``#`` or ``/`` (useful for display)."""
+        text = str(self)
+        for sep in ("#", "/"):
+            if sep in text:
+                tail = text.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return text
+
+
+class Literal(str):
+    """An RDF literal (an element of ``L``).
+
+    Only the lexical form is retained; datatypes and language tags are not
+    needed anywhere in the paper (the property-structure view only records
+    whether a subject *has* a property), but a literal still compares
+    unequal to a :class:`URI` with the same characters.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value: object) -> "Literal":
+        return super().__new__(cls, str(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Literal({str.__repr__(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, URI):
+            return False
+        if isinstance(other, Literal):
+            return str.__eq__(self, other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        # Salt the hash so that Literal("x") and URI("x") rarely collide in
+        # sets; correctness does not depend on this, only bucket spread.
+        return hash(("literal", str(self)))
+
+    def n3(self) -> str:
+        """Return the N-Triples serialisation ``"literal"`` (escaped)."""
+        escaped = (
+            str(self)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        return f'"{escaped}"'
+
+
+Term = Union[URI, Literal]
+
+
+class Triple(NamedTuple):
+    """An RDF triple ``(subject, predicate, object)``.
+
+    The subject and predicate must be URIs; the object may be a URI or a
+    literal, exactly as in the paper's preliminaries (Section 2.1).
+    """
+
+    subject: URI
+    predicate: URI
+    object: Term
+
+    def n3(self) -> str:
+        """Return the N-Triples serialisation terminated by `` .``."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    @classmethod
+    def create(cls, subject: object, predicate: object, obj: object) -> "Triple":
+        """Build a triple, coercing plain strings into URIs/literals.
+
+        Strings passed as subject or predicate become :class:`URI`;
+        the object becomes a :class:`URI` when it looks like a URI that is
+        already a ``URI`` instance, otherwise plain strings are treated as
+        URIs too (the common case in this library) unless they are already
+        :class:`Literal` instances.
+        """
+        return cls(coerce_uri(subject), coerce_uri(predicate), coerce_object(obj))
+
+
+def coerce_uri(value: object) -> URI:
+    """Coerce ``value`` to a :class:`URI`, raising :class:`RDFError` otherwise."""
+    if isinstance(value, URI):
+        return value
+    if isinstance(value, Literal):
+        raise RDFError(f"expected a URI, got the literal {value!r}")
+    if isinstance(value, str):
+        return URI(value)
+    raise RDFError(f"cannot coerce {type(value).__name__} to URI")
+
+
+def coerce_object(value: object) -> Term:
+    """Coerce ``value`` to a triple object (URI or Literal).
+
+    Existing :class:`URI`/:class:`Literal` instances pass through unchanged;
+    plain strings become URIs (objects in this library are almost always
+    resource identifiers); any other Python value becomes a literal with its
+    ``str()`` form.
+    """
+    if isinstance(value, (URI, Literal)):
+        return value
+    if isinstance(value, str):
+        return URI(value)
+    return Literal(value)

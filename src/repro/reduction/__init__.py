@@ -1,0 +1,29 @@
+"""The NP-hardness reduction from graph 3-coloring (Appendix A)."""
+
+from repro.reduction.three_coloring import (
+    IDP,
+    SP1,
+    SP2,
+    build_reduction_matrix,
+    build_reduction_table,
+    coloring_to_partition,
+    find_three_coloring,
+    is_three_colorable,
+    partition_to_coloring,
+    reduction_rule,
+    verify_coloring_gives_threshold_one,
+)
+
+__all__ = [
+    "SP1",
+    "SP2",
+    "IDP",
+    "build_reduction_matrix",
+    "build_reduction_table",
+    "reduction_rule",
+    "coloring_to_partition",
+    "partition_to_coloring",
+    "verify_coloring_gives_threshold_one",
+    "find_three_coloring",
+    "is_three_colorable",
+]

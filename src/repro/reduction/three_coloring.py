@@ -1,0 +1,296 @@
+"""The NP-hardness construction of Theorem 5.1 / Appendix A.
+
+The paper proves that ``ExistsSortRefinement(r0)`` is NP-complete for a
+fixed rule ``r0`` even with ``θ = 1`` and ``k = 3``, by reduction from
+graph 3-coloring.  Given an undirected, loop-free graph ``G`` with ``n``
+nodes and adjacency matrix ``A_G``, the reduction builds an RDF graph
+``D_G`` whose property-structure view is the ``(4n) × (2n + 3)`` block
+matrix
+
+::
+
+    [ 0  0  1 | D | D  ]      (first auxiliary block)
+    [ 0  1  1 | D | D  ]      (second auxiliary block)
+    [ 1  0  1 | D | D  ]      (third auxiliary block)
+    [ 1  1  0 | D | Ā_G ]     (lower section: one row per node of G)
+
+where ``D`` is the n×n identity, the first two columns are the ``sp1`` /
+``sp2`` "signature-separating" columns, the third column is ``idp`` and
+``Ā_G`` is the complemented adjacency matrix.  G is 3-colorable iff ``D_G``
+admits a σ_{r0}-sort refinement with threshold 1 and at most 3 implicit
+sorts.
+
+This module implements:
+
+* :func:`build_reduction_matrix` / :func:`build_reduction_table` — the
+  matrix ``M_G`` (and the corresponding signature table, every row being
+  its own signature thanks to the sp1/sp2 columns);
+* :func:`reduction_rule` — the 11-variable rule ``r0`` (equation (2));
+* :func:`coloring_to_partition` and :func:`partition_to_coloring` — the
+  two directions of the correspondence;
+* :func:`verify_coloring_gives_threshold_one` — evaluates σ_{r0} on each
+  part induced by a coloring (using the constraint-propagation evaluator),
+  which is the checkable heart of the forward direction of the proof.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import RefinementError
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import Namespace
+from repro.rdf.terms import URI
+from repro.rules.ast import (
+    Not,
+    PropIs,
+    Rule,
+    Var,
+    conjunction,
+    disjunction,
+    prop_is,
+    same_prop,
+    same_subj,
+    val_is,
+    var_eq,
+)
+from repro.rules.evaluator import RuleEvaluator
+
+__all__ = [
+    "REDUCTION_NAMESPACE",
+    "SP1",
+    "SP2",
+    "IDP",
+    "build_reduction_matrix",
+    "build_reduction_table",
+    "reduction_rule",
+    "coloring_to_partition",
+    "partition_to_coloring",
+    "verify_coloring_gives_threshold_one",
+    "is_three_colorable",
+    "find_three_coloring",
+]
+
+REDUCTION_NAMESPACE = Namespace("http://example.org/3col/")
+SP1: URI = REDUCTION_NAMESPACE["sp1"]
+SP2: URI = REDUCTION_NAMESPACE["sp2"]
+IDP: URI = REDUCTION_NAMESPACE["idp"]
+
+
+def _node_list(graph: nx.Graph) -> List:
+    return sorted(graph.nodes())
+
+
+def _column_labels(n: int) -> List[URI]:
+    labels = [SP1, SP2, IDP]
+    labels += [REDUCTION_NAMESPACE[f"left{i}"] for i in range(n)]
+    labels += [REDUCTION_NAMESPACE[f"right{i}"] for i in range(n)]
+    return labels
+
+
+def _row_labels(n: int) -> List[URI]:
+    labels = [REDUCTION_NAMESPACE[f"aux1_{i}"] for i in range(n)]
+    labels += [REDUCTION_NAMESPACE[f"aux2_{i}"] for i in range(n)]
+    labels += [REDUCTION_NAMESPACE[f"aux3_{i}"] for i in range(n)]
+    labels += [REDUCTION_NAMESPACE[f"node{i}"] for i in range(n)]
+    return labels
+
+
+def build_reduction_matrix(graph: nx.Graph) -> PropertyMatrix:
+    """Build the property-structure view ``M_G`` of the reduction RDF graph.
+
+    The input must be a simple undirected graph without self-loops.
+    """
+    nodes = _node_list(graph)
+    n = len(nodes)
+    if n == 0:
+        raise RefinementError("the reduction needs a graph with at least one node")
+    if any(graph.has_edge(v, v) for v in nodes):
+        raise RefinementError("the reduction requires a loop-free graph")
+    index = {node: i for i, node in enumerate(nodes)}
+    adjacency = np.zeros((n, n), dtype=bool)
+    for u, v in graph.edges():
+        adjacency[index[u], index[v]] = True
+        adjacency[index[v], index[u]] = True
+    complemented = ~adjacency
+    identity = np.eye(n, dtype=bool)
+    zeros = np.zeros((n, 1), dtype=bool)
+    ones = np.ones((n, 1), dtype=bool)
+
+    upper1 = np.hstack([zeros, zeros, ones, identity, identity])
+    upper2 = np.hstack([zeros, ones, ones, identity, identity])
+    upper3 = np.hstack([ones, zeros, ones, identity, identity])
+    lower = np.hstack([ones, ones, zeros, identity, complemented])
+    data = np.vstack([upper1, upper2, upper3, lower])
+    return PropertyMatrix(data, _row_labels(n), _column_labels(n), name="3-coloring reduction")
+
+
+def build_reduction_table(graph: nx.Graph) -> SignatureTable:
+    """Build the signature table of ``D_G`` (every row is its own signature)."""
+    return SignatureTable.from_matrix(build_reduction_matrix(graph))
+
+
+def reduction_rule() -> Rule:
+    """Build the fixed rule ``r0`` of equation (2) in Appendix A.
+
+    The rule has eleven variables (x, c1, c2, y, d1, d2, z, e, u, f1, f2);
+    its antecedent pins x/c1/c2 to an auxiliary row, y/d1/d2 and u/f1/f2 to
+    lower-section rows, and z/e to a second copy of the auxiliary row if one
+    exists; the consequent checks non-adjacency in the complemented
+    adjacency block and that auxiliary rows are not duplicated.
+    """
+    x, c1, c2 = Var("x"), Var("c1"), Var("c2")
+    y, d1, d2 = Var("y"), Var("d1"), Var("d2")
+    z, e = Var("z"), Var("e")
+    u, f1, f2 = Var("u"), Var("f1"), Var("f2")
+
+    not_sp = [
+        conjunction(Not(prop_is(v, SP1)), Not(prop_is(v, SP2)))
+        for v in (c1, c2, d1, d2, e, f1, f2)
+    ]
+    antecedent = conjunction(
+        *not_sp,
+        prop_is(x, IDP),
+        val_is(x, 1),
+        Not(var_eq(c1, x)),
+        same_subj(c1, x),
+        val_is(c1, 1),
+        Not(var_eq(c2, x)),
+        same_subj(c2, x),
+        val_is(c2, 1),
+        Not(var_eq(c1, c2)),
+        prop_is(y, IDP),
+        val_is(y, 0),
+        same_subj(d1, y),
+        same_prop(d1, c1),
+        same_subj(d2, y),
+        same_prop(d2, c2),
+        prop_is(z, IDP),
+        same_subj(z, e),
+        same_prop(e, c1),
+        Not(var_eq(e, c1)),
+        val_is(e, 1),
+        prop_is(u, IDP),
+        val_is(u, 0),
+        same_subj(u, f1),
+        same_prop(f1, c1),
+        same_subj(u, f2),
+        same_prop(f2, c2),
+        val_is(f1, 1),
+        val_is(f2, 1),
+    )
+    consequent = conjunction(
+        disjunction(val_is(d1, 1), val_is(d2, 1)),
+        val_is(z, 0),
+    )
+    return Rule(antecedent, consequent, name="r0 (3-coloring reduction)")
+
+
+# --------------------------------------------------------------------------- #
+# Coloring <-> partition correspondence
+# --------------------------------------------------------------------------- #
+def coloring_to_partition(
+    graph: nx.Graph, coloring: Mapping[object, int]
+) -> List[List[URI]]:
+    """Map a (proper) 3-coloring of ``G`` to the row partition of ``M_G``.
+
+    Color ``c`` receives the ``c``-th block of auxiliary rows plus the
+    lower-section rows of the nodes colored ``c``; the result is a list of
+    three lists of row labels (some possibly containing only auxiliary
+    rows when a color is unused).
+    """
+    nodes = _node_list(graph)
+    n = len(nodes)
+    colors = set(coloring.values())
+    if not colors <= {0, 1, 2}:
+        raise RefinementError("coloring must use colors 0, 1 and 2")
+    rows = _row_labels(n)
+    parts: List[List[URI]] = [[], [], []]
+    for color in range(3):
+        parts[color].extend(rows[color * n : (color + 1) * n])
+    for position, node in enumerate(nodes):
+        color = coloring[node]
+        parts[color].append(rows[3 * n + position])
+    return parts
+
+
+def partition_to_coloring(
+    graph: nx.Graph, parts: Sequence[Iterable[URI]]
+) -> Dict[object, int]:
+    """Map a row partition of ``M_G`` back to a node coloring of ``G``.
+
+    Every lower-section row (one per node) takes the index of the part it
+    belongs to as its color.
+    """
+    nodes = _node_list(graph)
+    n = len(nodes)
+    rows = _row_labels(n)
+    node_rows = {rows[3 * n + position]: node for position, node in enumerate(nodes)}
+    coloring: Dict[object, int] = {}
+    for color, part in enumerate(parts):
+        for row in part:
+            if row in node_rows:
+                coloring[node_rows[row]] = color
+    missing = set(nodes) - set(coloring)
+    if missing:
+        raise RefinementError(f"partition does not cover the nodes {sorted(map(str, missing))}")
+    return coloring
+
+
+def verify_coloring_gives_threshold_one(
+    graph: nx.Graph, coloring: Mapping[object, int]
+) -> List[float]:
+    """Evaluate σ_{r0} on each part induced by ``coloring``; all must be 1.0.
+
+    This checks the forward direction of the reduction on concrete inputs:
+    a proper 3-coloring yields a sort refinement with threshold 1 and at
+    most 3 implicit sorts.
+    """
+    matrix = build_reduction_matrix(graph)
+    rule = reduction_rule()
+    values: List[float] = []
+    for part in coloring_to_partition(graph, coloring):
+        submatrix = matrix.select_subjects(part)
+        values.append(RuleEvaluator(submatrix).sigma(rule))
+    return values
+
+
+# --------------------------------------------------------------------------- #
+# 3-colorability (exact, for the small graphs used in tests/benchmarks)
+# --------------------------------------------------------------------------- #
+def find_three_coloring(graph: nx.Graph) -> Optional[Dict[object, int]]:
+    """Return a proper 3-coloring of ``graph`` or ``None`` if none exists.
+
+    Uses simple backtracking with degree-descending node order; intended
+    for the small instances exercised by tests and benchmarks, not as a
+    competitive coloring algorithm.
+    """
+    nodes = sorted(graph.nodes(), key=lambda v: -graph.degree(v))
+    coloring: Dict[object, int] = {}
+
+    def assign(position: int) -> bool:
+        if position == len(nodes):
+            return True
+        node = nodes[position]
+        used = {coloring[other] for other in graph.neighbors(node) if other in coloring}
+        for color in range(3):
+            if color in used:
+                continue
+            coloring[node] = color
+            if assign(position + 1):
+                return True
+            del coloring[node]
+        return False
+
+    if assign(0):
+        return dict(coloring)
+    return None
+
+
+def is_three_colorable(graph: nx.Graph) -> bool:
+    """Whether ``graph`` admits a proper 3-coloring."""
+    return find_three_coloring(graph) is not None

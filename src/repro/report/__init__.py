@@ -1,0 +1,6 @@
+"""Reporting helpers: text tables and classification metrics."""
+
+from repro.report.metrics import ConfusionMatrix
+from repro.report.tables import format_float, format_mapping, format_table
+
+__all__ = ["ConfusionMatrix", "format_table", "format_mapping", "format_float"]

@@ -1,0 +1,85 @@
+"""Binary-classification metrics used by the semantic-correctness experiment.
+
+Section 7.4 interprets the recovery of Drug Companies vs Sultans from a
+mixed dataset as a binary classification problem (Drug Company = positive
+class) and reports the confusion matrix, accuracy, precision and recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ConfusionMatrix"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """A 2x2 confusion matrix for a binary classification task.
+
+    Attributes follow the usual convention: ``tp`` are positives classified
+    as positive, ``fp`` negatives classified as positive, ``fn`` positives
+    classified as negative and ``tn`` negatives classified as negative.
+    """
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def total(self) -> int:
+        """Total number of classified items."""
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correctly classified items (1.0 when empty)."""
+        if self.total == 0:
+            return 1.0
+        return (self.tp + self.tn) / self.total
+
+    @property
+    def precision(self) -> float:
+        """tp / (tp + fp); 1.0 when nothing was classified positive."""
+        predicted_positive = self.tp + self.fp
+        if predicted_positive == 0:
+            return 1.0
+        return self.tp / predicted_positive
+
+    @property
+    def recall(self) -> float:
+        """tp / (tp + fn); 1.0 when there are no actual positives."""
+        actual_positive = self.tp + self.fn
+        if actual_positive == 0:
+            return 1.0
+        return self.tp / actual_positive
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0.0 when both are 0)."""
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return every metric in a flat dictionary (for report tables)."""
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "fn": self.fn,
+            "tn": self.tn,
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(
+            self.tp + other.tp,
+            self.fp + other.fp,
+            self.fn + other.fn,
+            self.tn + other.tn,
+        )

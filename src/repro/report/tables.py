@@ -1,0 +1,69 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_mapping", "format_float"]
+
+
+def format_float(value: object, digits: int = 3) -> str:
+    """Format numbers compactly; pass other values through as ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    digits: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        The data rows.  Missing keys render as empty cells.
+    columns:
+        Explicit column order; defaults to the keys of the first row
+        followed by any new keys found in later rows.
+    digits:
+        Decimal digits used for float formatting.
+    title:
+        Optional title printed above the table.
+    """
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    columns = list(columns)
+    rendered: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        rendered.append([format_float(row.get(column, ""), digits) for column in columns])
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(cell.ljust(width) for cell, width in zip(rendered[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered[1:]:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], digits: int = 3, title: Optional[str] = None) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(str(key)) for key in mapping), default=0)
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)} : {format_float(value, digits)}")
+    return "\n".join(lines)

@@ -1,0 +1,455 @@
+"""Abstract syntax for the structuredness rule language (Section 3).
+
+The language talks about cells of the property-structure view ``M(D)``:
+
+* *variables* ``c ∈ V`` point at matrix cells;
+* ``val(c)`` is the 0/1 content of the cell, ``subj(c)`` its row (a subject)
+  and ``prop(c)`` its column (a property);
+* atomic formulas are the equalities allowed by the grammar of Section 3.1;
+* formulas are closed under ``¬``, ``∧`` and ``∨``;
+* a *rule* is ``ϕ1 ↦ ϕ2`` with ``var(ϕ2) ⊆ var(ϕ1)``.
+
+The classes below form a small immutable AST.  Operator overloading gives a
+lightweight DSL::
+
+    c1, c2 = Var("c1"), Var("c2")
+    rule = (~(c1 == c2) & same_prop(c1, c2) & val_is(c1, 1)) >> val_is(c2, 1)
+
+which is exactly the σSim rule of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple, Union
+
+from repro.exceptions import RuleError
+from repro.rdf.terms import URI, coerce_uri
+
+__all__ = [
+    "Var",
+    "Formula",
+    "Atom",
+    "ValIs",
+    "SubjIs",
+    "PropIs",
+    "VarEq",
+    "ValEq",
+    "SubjEq",
+    "PropEq",
+    "Not",
+    "And",
+    "Or",
+    "Rule",
+    "val_is",
+    "subj_is",
+    "prop_is",
+    "var_eq",
+    "same_val",
+    "same_subj",
+    "same_prop",
+    "conjunction",
+    "disjunction",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Variables
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True, order=True)
+class Var:
+    """A cell variable ``c ∈ V``.
+
+    Variables are plain named values; use :func:`var_eq` (not ``==``) to
+    build the ``c1 = c2`` atomic formula, so that ``Var`` keeps ordinary
+    equality semantics and can safely be used in sets and dictionaries.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise RuleError("variable names must be non-empty strings")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# --------------------------------------------------------------------------- #
+# Formulas
+# --------------------------------------------------------------------------- #
+class Formula:
+    """Base class for formulas.  Supports ``&``, ``|``, ``~`` and ``>>``."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[Var]:
+        """Return ``var(ϕ)``: the set of variables mentioned by the formula."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(_as_formula(self), _as_formula(other))
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(_as_formula(self), _as_formula(other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, consequent: "Formula") -> "Rule":
+        return Rule(self, _as_formula(consequent))
+
+    def conjuncts(self) -> Tuple["Formula", ...]:
+        """Flatten nested conjunctions into a tuple of conjuncts."""
+        return (self,)
+
+    def disjuncts(self) -> Tuple["Formula", ...]:
+        """Flatten nested disjunctions into a tuple of disjuncts."""
+        return (self,)
+
+    def atoms(self) -> Iterator["Atom"]:
+        """Yield every atom appearing anywhere in the formula."""
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        """Return the concrete-syntax form accepted by :mod:`repro.rules.parser`."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def _as_formula(value: object) -> "Formula":
+    if isinstance(value, Formula):
+        return value
+    raise RuleError(f"expected a formula, got {type(value).__name__}")
+
+
+class Atom(Formula):
+    """Base class for atomic formulas."""
+
+    __slots__ = ()
+
+    def atoms(self) -> Iterator["Atom"]:
+        yield self
+
+
+@dataclass(frozen=True)
+class ValIs(Atom):
+    """``val(c) = i`` with ``i ∈ {0, 1}``."""
+
+    var: Var
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise RuleError(f"val(c) can only be compared against 0 or 1, got {self.value!r}")
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset({self.var})
+
+    def to_text(self) -> str:
+        return f"val({self.var}) = {self.value}"
+
+
+@dataclass(frozen=True)
+class SubjIs(Atom):
+    """``subj(c) = u`` for a constant URI ``u``.
+
+    The paper notes it is natural to exclude such atoms (structuredness
+    should not depend on one particular subject); they are supported by the
+    naive and backtracking evaluators but rejected by the signature-level
+    machinery.
+    """
+
+    var: Var
+    uri: URI
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "uri", coerce_uri(self.uri))
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset({self.var})
+
+    def to_text(self) -> str:
+        return f"subj({self.var}) = <{self.uri}>"
+
+
+@dataclass(frozen=True)
+class PropIs(Atom):
+    """``prop(c) = u`` for a constant URI ``u``."""
+
+    var: Var
+    uri: URI
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "uri", coerce_uri(self.uri))
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset({self.var})
+
+    def to_text(self) -> str:
+        return f"prop({self.var}) = <{self.uri}>"
+
+
+@dataclass(frozen=True)
+class VarEq(Atom):
+    """``c1 = c2`` (the two variables point at the very same cell)."""
+
+    left: Var
+    right: Var
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset({self.left, self.right})
+
+    def to_text(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class ValEq(Atom):
+    """``val(c1) = val(c2)``."""
+
+    left: Var
+    right: Var
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset({self.left, self.right})
+
+    def to_text(self) -> str:
+        return f"val({self.left}) = val({self.right})"
+
+
+@dataclass(frozen=True)
+class SubjEq(Atom):
+    """``subj(c1) = subj(c2)``."""
+
+    left: Var
+    right: Var
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset({self.left, self.right})
+
+    def to_text(self) -> str:
+        return f"subj({self.left}) = subj({self.right})"
+
+
+@dataclass(frozen=True)
+class PropEq(Atom):
+    """``prop(c1) = prop(c2)``."""
+
+    left: Var
+    right: Var
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset({self.left, self.right})
+
+    def to_text(self) -> str:
+        return f"prop({self.left}) = prop({self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """``(¬ ϕ)``."""
+
+    operand: Formula
+
+    def variables(self) -> FrozenSet[Var]:
+        return self.operand.variables()
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.operand.atoms()
+
+    def to_text(self) -> str:
+        return f"not ({self.operand.to_text()})"
+
+
+class _NaryFormula(Formula):
+    """Shared implementation for conjunction and disjunction."""
+
+    __slots__ = ("operands",)
+    _symbol = "?"
+
+    def __init__(self, *operands: Formula):
+        flat: list[Formula] = []
+        for operand in operands:
+            operand = _as_formula(operand)
+            if isinstance(operand, type(self)):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        if len(flat) < 2:
+            raise RuleError(f"{type(self).__name__} needs at least two operands")
+        self.operands: Tuple[Formula, ...] = tuple(flat)
+
+    def variables(self) -> FrozenSet[Var]:
+        result: FrozenSet[Var] = frozenset()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def atoms(self) -> Iterator[Atom]:
+        for operand in self.operands:
+            yield from operand.atoms()
+
+    def to_text(self) -> str:
+        parts = []
+        for operand in self.operands:
+            text = operand.to_text()
+            if isinstance(operand, _NaryFormula) and not isinstance(operand, type(self)):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self._symbol} ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.operands == other.operands
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(op) for op in self.operands)
+        return f"{type(self).__name__}({inner})"
+
+
+class And(_NaryFormula):
+    """``(ϕ1 ∧ ϕ2 ∧ ...)``."""
+
+    _symbol = "and"
+
+    def conjuncts(self) -> Tuple[Formula, ...]:
+        result: list[Formula] = []
+        for operand in self.operands:
+            result.extend(operand.conjuncts())
+        return tuple(result)
+
+
+class Or(_NaryFormula):
+    """``(ϕ1 ∨ ϕ2 ∨ ...)``."""
+
+    _symbol = "or"
+
+    def disjuncts(self) -> Tuple[Formula, ...]:
+        result: list[Formula] = []
+        for operand in self.operands:
+            result.extend(operand.disjuncts())
+        return tuple(result)
+
+
+# --------------------------------------------------------------------------- #
+# Rules
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Rule:
+    """A structuredness rule ``ϕ1 ↦ ϕ2`` with ``var(ϕ2) ⊆ var(ϕ1)``.
+
+    The associated structuredness function is
+
+    ``σ_r(M) = |total(ϕ1 ∧ ϕ2, M)| / |total(ϕ1, M)|``
+
+    with the convention ``σ_r(M) = 1`` when ``|total(ϕ1, M)| = 0``.
+    """
+
+    antecedent: Formula
+    consequent: Formula
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.antecedent, Formula) or not isinstance(self.consequent, Formula):
+            raise RuleError("both sides of a rule must be formulas")
+        extra = self.consequent.variables() - self.antecedent.variables()
+        if extra:
+            names = ", ".join(sorted(v.name for v in extra))
+            raise RuleError(
+                f"the consequent mentions variables not bound by the antecedent: {names}"
+            )
+
+    def variables(self) -> FrozenSet[Var]:
+        """Return ``var(ϕ1)`` (which contains ``var(ϕ2)``)."""
+        return self.antecedent.variables()
+
+    @property
+    def arity(self) -> int:
+        """The number of variables of the rule (drives evaluation cost)."""
+        return len(self.variables())
+
+    def combined(self) -> Formula:
+        """Return ``ϕ1 ∧ ϕ2``, the formula of the favourable cases."""
+        return And(self.antecedent, self.consequent)
+
+    def with_name(self, name: str) -> "Rule":
+        """Return the same rule tagged with a display name."""
+        return Rule(self.antecedent, self.consequent, name=name)
+
+    def uses_subject_constants(self) -> bool:
+        """Whether the rule mentions ``subj(c) = <uri>`` atoms anywhere."""
+        atoms = list(self.antecedent.atoms()) + list(self.consequent.atoms())
+        return any(isinstance(atom, SubjIs) for atom in atoms)
+
+    def to_text(self) -> str:
+        """Return the concrete syntax ``antecedent -> consequent``."""
+        return f"{self.antecedent.to_text()} -> {self.consequent.to_text()}"
+
+    def __str__(self) -> str:
+        return self.name or self.to_text()
+
+
+# --------------------------------------------------------------------------- #
+# Constructor helpers (read better than the raw dataclasses)
+# --------------------------------------------------------------------------- #
+def val_is(var: Var, value: int) -> ValIs:
+    """``val(var) = value`` with value in {0, 1}."""
+    return ValIs(var, value)
+
+
+def subj_is(var: Var, uri: object) -> SubjIs:
+    """``subj(var) = uri`` for a constant URI."""
+    return SubjIs(var, coerce_uri(uri))
+
+
+def prop_is(var: Var, uri: object) -> PropIs:
+    """``prop(var) = uri`` for a constant URI."""
+    return PropIs(var, coerce_uri(uri))
+
+
+def var_eq(left: Var, right: Var) -> VarEq:
+    """``left = right`` (same cell)."""
+    return VarEq(left, right)
+
+
+def same_val(left: Var, right: Var) -> ValEq:
+    """``val(left) = val(right)``."""
+    return ValEq(left, right)
+
+
+def same_subj(left: Var, right: Var) -> SubjEq:
+    """``subj(left) = subj(right)``."""
+    return SubjEq(left, right)
+
+
+def same_prop(left: Var, right: Var) -> PropEq:
+    """``prop(left) = prop(right)``."""
+    return PropEq(left, right)
+
+
+def conjunction(*formulas: Formula) -> Formula:
+    """Conjoin formulas; a single formula is returned unchanged."""
+    cleaned = [f for f in formulas if f is not None]
+    if not cleaned:
+        raise RuleError("conjunction() needs at least one formula")
+    if len(cleaned) == 1:
+        return cleaned[0]
+    return And(*cleaned)
+
+
+def disjunction(*formulas: Formula) -> Formula:
+    """Disjoin formulas; a single formula is returned unchanged."""
+    cleaned = [f for f in formulas if f is not None]
+    if not cleaned:
+        raise RuleError("disjunction() needs at least one formula")
+    if len(cleaned) == 1:
+        return cleaned[0]
+    return Or(*cleaned)

@@ -1,0 +1,329 @@
+"""Signature-level evaluation: rough assignments and ``count(ϕ, τ, M)``.
+
+Section 6 of the paper reduces the sort-refinement problem to ILP by
+working with *rough variable assignments*: instead of assigning each rule
+variable to a concrete cell ``(subject, property)``, a rough assignment
+``τ`` assigns each variable to a pair ``(signature, property)``.  The
+quantity ``count(ϕ, τ, M)`` is the number of concrete assignments that are
+compatible with ``τ`` and satisfy ``ϕ``; it is computed offline and becomes
+a constant coefficient of the ILP.
+
+Because all subjects sharing a signature are structurally identical, the
+concrete assignments compatible with ``τ`` differ only in *which* subjects
+of each signature set are picked and whether distinct variables pick the
+same subject.  ``count`` therefore reduces to a small combinatorial sum
+over the ways of co-identifying variables (set partitions restricted to
+variables with equal signatures), weighted by falling factorials of the
+signature-set sizes.
+
+The same machinery also evaluates ``σ_r`` for a whole dataset directly at
+the signature level (:func:`sigma_by_signatures`), which is how the
+experiments compute structuredness for datasets with hundreds of thousands
+of subjects: the cost depends on the number of signatures, not on the
+number of subjects.
+
+Rules that mention ``subj(c) = <uri>`` constants are rejected here: such
+rules are not signature-generic (the paper argues they should be excluded
+anyway since structuredness should not depend on one particular subject).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import EvaluationError
+from repro.matrix.signatures import Signature, SignatureTable
+from repro.rdf.terms import URI
+from repro.rules.ast import (
+    And,
+    Atom,
+    Formula,
+    Not,
+    Or,
+    PropEq,
+    PropIs,
+    Rule,
+    SubjEq,
+    SubjIs,
+    ValEq,
+    ValIs,
+    Var,
+    VarEq,
+)
+
+__all__ = [
+    "RoughAssignment",
+    "RoughCase",
+    "count_rough",
+    "enumerate_rough_assignments",
+    "sigma_by_signatures",
+    "sigma_by_signatures_fraction",
+    "set_partitions",
+    "falling_factorial",
+]
+
+#: A rough assignment maps each rule variable to a (signature, property) pair.
+RoughAssignment = Dict[Var, Tuple[Signature, URI]]
+
+
+class RoughCase:
+    """One rough assignment together with its total/favourable counts.
+
+    These triples are exactly the constants ``count(ϕ1, τ, M)`` and
+    ``count(ϕ1 ∧ ϕ2, τ, M)`` that appear in the ILP threshold constraint.
+    """
+
+    __slots__ = ("assignment", "total", "favourable")
+
+    def __init__(self, assignment: RoughAssignment, total: int, favourable: int):
+        self.assignment = assignment
+        self.total = total
+        self.favourable = favourable
+
+    @property
+    def signatures(self) -> Tuple[Signature, ...]:
+        """The signatures mentioned by the rough assignment (with repeats)."""
+        return tuple(sig for sig, _prop in self.assignment.values())
+
+    @property
+    def properties(self) -> Tuple[URI, ...]:
+        """The properties mentioned by the rough assignment (with repeats)."""
+        return tuple(prop for _sig, prop in self.assignment.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RoughCase total={self.total} favourable={self.favourable}>"
+
+
+def falling_factorial(n: int, k: int) -> int:
+    """Return ``n · (n-1) · ... · (n-k+1)`` (1 when k = 0, 0 when k > n)."""
+    if k < 0:
+        raise EvaluationError("falling_factorial needs k >= 0")
+    result = 1
+    for i in range(k):
+        if n - i <= 0:
+            return 0
+        result *= n - i
+    return result
+
+
+def set_partitions(items: Sequence) -> Iterator[List[List]]:
+    """Yield every set partition of ``items`` (order of blocks is irrelevant)."""
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        # put ``first`` in its own block
+        yield [[first]] + [list(block) for block in partition]
+        # or add it to an existing block
+        for index in range(len(partition)):
+            new_partition = [list(block) for block in partition]
+            new_partition[index].append(first)
+            yield new_partition
+
+
+# --------------------------------------------------------------------------- #
+# Rough satisfaction
+# --------------------------------------------------------------------------- #
+def _rough_satisfies(
+    formula: Formula,
+    tau: RoughAssignment,
+    same_subject: Dict[frozenset, bool],
+) -> bool:
+    """Evaluate ``ϕ`` under a rough assignment and a subject-identification pattern.
+
+    ``same_subject`` maps ``frozenset({a, b})`` to whether variables a and b
+    are bound to the same subject.  Variables with different signatures can
+    never share a subject, which the caller guarantees.
+    """
+    if isinstance(formula, ValIs):
+        signature, prop = tau[formula.var]
+        return (prop in signature) == bool(formula.value)
+    if isinstance(formula, PropIs):
+        _signature, prop = tau[formula.var]
+        return prop == formula.uri
+    if isinstance(formula, SubjIs):
+        raise EvaluationError(
+            "rules mentioning subj(c) = <uri> cannot be evaluated at the signature level"
+        )
+    if isinstance(formula, VarEq):
+        if formula.left == formula.right:
+            return True
+        same = same_subject[frozenset({formula.left, formula.right})]
+        return same and tau[formula.left][1] == tau[formula.right][1]
+    if isinstance(formula, SubjEq):
+        if formula.left == formula.right:
+            return True
+        return same_subject[frozenset({formula.left, formula.right})]
+    if isinstance(formula, PropEq):
+        return tau[formula.left][1] == tau[formula.right][1]
+    if isinstance(formula, ValEq):
+        sig_l, prop_l = tau[formula.left]
+        sig_r, prop_r = tau[formula.right]
+        return (prop_l in sig_l) == (prop_r in sig_r)
+    if isinstance(formula, Not):
+        return not _rough_satisfies(formula.operand, tau, same_subject)
+    if isinstance(formula, And):
+        return all(_rough_satisfies(op, tau, same_subject) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(_rough_satisfies(op, tau, same_subject) for op in formula.operands)
+    raise EvaluationError(f"unsupported formula node: {type(formula).__name__}")
+
+
+def count_rough(formula: Formula, tau: RoughAssignment, table: SignatureTable) -> int:
+    """Return ``count(ϕ, τ, M)``: concrete assignments compatible with ``τ`` satisfying ``ϕ``.
+
+    The rough assignment must bind every variable of the formula.
+    """
+    variables = sorted(formula.variables())
+    missing = [v for v in variables if v not in tau]
+    if missing:
+        names = ", ".join(v.name for v in missing)
+        raise EvaluationError(f"rough assignment does not bind variables: {names}")
+
+    # Group variables by signature: only variables with identical signatures
+    # can possibly be bound to the same subject.
+    groups: Dict[Signature, List[Var]] = {}
+    for variable in variables:
+        groups.setdefault(tau[variable][0], []).append(variable)
+
+    # Pre-compute, for each signature group, its possible partitions into
+    # co-referent blocks and the number of injective subject choices each
+    # partition admits.
+    group_options: List[List[Tuple[List[List[Var]], int]]] = []
+    for signature, members in groups.items():
+        size = table.count(signature)
+        options: List[Tuple[List[List[Var]], int]] = []
+        for partition in set_partitions(members):
+            ways = falling_factorial(size, len(partition))
+            if ways > 0:
+                options.append((partition, ways))
+        if not options:
+            return 0
+        group_options.append(options)
+
+    total = 0
+    pair_keys = [
+        frozenset({a, b})
+        for i, a in enumerate(variables)
+        for b in variables[i + 1 :]
+    ]
+
+    def recurse(index: int, blocks: List[List[Var]], weight: int) -> None:
+        nonlocal total
+        if index == len(group_options):
+            same_subject = {key: False for key in pair_keys}
+            for block in blocks:
+                for i, a in enumerate(block):
+                    for b in block[i + 1 :]:
+                        same_subject[frozenset({a, b})] = True
+            if _rough_satisfies(formula, tau, same_subject):
+                total += weight
+            return
+        for partition, ways in group_options[index]:
+            recurse(index + 1, blocks + partition, weight * ways)
+
+    recurse(0, [], 1)
+    return total
+
+
+# --------------------------------------------------------------------------- #
+# Enumerating the relevant rough assignments of a rule
+# --------------------------------------------------------------------------- #
+def _prunable_conjuncts(formula: Formula) -> List[Formula]:
+    """Antecedent conjuncts that depend only on (signature, property) pairs.
+
+    These are exactly the conjuncts that can be used to prune partial rough
+    assignments: atoms (or negated atoms) that do not compare subjects.
+    """
+    prunable: List[Formula] = []
+    for conjunct in formula.conjuncts():
+        atom = conjunct.operand if isinstance(conjunct, Not) else conjunct
+        if isinstance(atom, (ValIs, PropIs, PropEq, ValEq)):
+            prunable.append(conjunct)
+    return prunable
+
+
+def enumerate_rough_assignments(
+    rule: Rule,
+    table: SignatureTable,
+    keep_zero_total: bool = False,
+) -> Iterator[RoughCase]:
+    """Enumerate rough assignments ``τ`` with their total and favourable counts.
+
+    Only assignments with ``count(ϕ1, τ, M) > 0`` are yielded unless
+    ``keep_zero_total`` is set (the zero-total ones contribute nothing to
+    either σ_r or the ILP constraints, which is also the T-variable pruning
+    discussed in DESIGN.md).
+    """
+    if rule.uses_subject_constants():
+        raise EvaluationError(
+            "rules with subj(c) = <uri> atoms are not supported at the signature level"
+        )
+    variables = sorted(rule.variables())
+    if not variables:
+        raise EvaluationError("cannot enumerate rough assignments of a variable-free rule")
+    prunable = _prunable_conjuncts(rule.antecedent)
+    candidates: List[Tuple[Signature, URI]] = [
+        (signature, prop) for signature in table.signatures for prop in table.properties
+    ]
+    combined = rule.combined()
+
+    def recurse(index: int, partial: RoughAssignment) -> Iterator[RoughCase]:
+        if index == len(variables):
+            tau = dict(partial)
+            total = count_rough(rule.antecedent, tau, table)
+            if total == 0 and not keep_zero_total:
+                return
+            favourable = count_rough(combined, tau, table) if total > 0 else 0
+            yield RoughCase(tau, total, favourable)
+            return
+        variable = variables[index]
+        for signature, prop in candidates:
+            partial[variable] = (signature, prop)
+            if _partial_ok(prunable, partial):
+                yield from recurse(index + 1, partial)
+            del partial[variable]
+
+    def _partial_ok(constraints: List[Formula], partial: RoughAssignment) -> bool:
+        bound = set(partial)
+        for constraint in constraints:
+            if constraint.variables() <= bound:
+                # Subject-identification is irrelevant for prunable conjuncts.
+                if not _rough_satisfies(constraint, partial, _ALWAYS_DIFFERENT):
+                    return False
+        return True
+
+    yield from recurse(0, {})
+
+
+class _AlwaysDifferent(dict):
+    """A mapping that answers ``False`` for any variable pair (no co-reference)."""
+
+    def __missing__(self, key: object) -> bool:
+        return False
+
+
+_ALWAYS_DIFFERENT: Dict[frozenset, bool] = _AlwaysDifferent()
+
+
+# --------------------------------------------------------------------------- #
+# σ_r at the signature level
+# --------------------------------------------------------------------------- #
+def sigma_by_signatures_fraction(rule: Rule, table: SignatureTable) -> Fraction:
+    """Evaluate ``σ_r`` over a signature table, returning an exact fraction."""
+    total = 0
+    favourable = 0
+    for case in enumerate_rough_assignments(rule, table):
+        total += case.total
+        favourable += case.favourable
+    if total == 0:
+        return Fraction(1)
+    return Fraction(favourable, total)
+
+
+def sigma_by_signatures(rule: Rule, table: SignatureTable) -> float:
+    """Evaluate ``σ_r`` over a signature table, returning a float."""
+    return float(sigma_by_signatures_fraction(rule, table))

@@ -1,0 +1,154 @@
+"""The built-in structuredness rules of the paper (Sections 2.2 and 3.2).
+
+Every function returns a :class:`~repro.rules.ast.Rule` carrying a display
+name, so the experiment harness can report which rule produced which
+refinement.  All of them can also be written in the concrete syntax and
+parsed with :func:`repro.rules.parser.parse_rule`; tests assert that the
+two constructions coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import RuleError
+from repro.rdf.terms import URI, coerce_uri
+from repro.rules.ast import (
+    Not,
+    PropIs,
+    Rule,
+    Var,
+    VarEq,
+    conjunction,
+    disjunction,
+    prop_is,
+    same_prop,
+    same_subj,
+    val_is,
+    var_eq,
+)
+
+__all__ = [
+    "coverage",
+    "coverage_ignoring",
+    "similarity",
+    "dependency",
+    "symmetric_dependency",
+    "conditional_dependency",
+    "STANDARD_RULES",
+    "standard_rules",
+]
+
+
+def coverage() -> Rule:
+    """The σCov rule: ``c = c ↦ val(c) = 1``.
+
+    Cov is the ratio of 1-cells in the property-structure view: it heavily
+    penalises missing properties.
+    """
+    c = Var("c")
+    return Rule(var_eq(c, c), val_is(c, 1), name="Cov")
+
+
+def coverage_ignoring(properties: Iterable[object]) -> Rule:
+    """A Cov variant whose antecedent excludes some property columns.
+
+    This is the "modified σCov structuredness measure which ignores a
+    specific column" of Section 3.2, generalised to a set of columns; the
+    paper uses it in Section 7.4 with the four RDF-syntax properties
+    (``type``, ``sameAs``, ``subClassOf``, ``label``).
+    """
+    props = [coerce_uri(p) for p in properties]
+    if not props:
+        raise RuleError("coverage_ignoring() needs at least one property to ignore")
+    c = Var("c")
+    antecedent = conjunction(
+        var_eq(c, c), *[Not(prop_is(c, p)) for p in props]
+    )
+    short = ",".join(p.local_name for p in props)
+    return Rule(antecedent, val_is(c, 1), name=f"Cov[ignoring {short}]")
+
+
+def similarity() -> Rule:
+    """The σSim rule: two subjects sharing a property column agree on it.
+
+    ``¬(c1 = c2) ∧ prop(c1) = prop(c2) ∧ val(c1) = 1 ↦ val(c2) = 1``
+
+    σSim is the probability that a property held by one randomly chosen
+    subject is also held by another randomly chosen subject; it tolerates
+    rare "exotic" properties much better than Cov.
+    """
+    c1, c2 = Var("c1"), Var("c2")
+    antecedent = conjunction(
+        Not(var_eq(c1, c2)),
+        same_prop(c1, c2),
+        val_is(c1, 1),
+    )
+    return Rule(antecedent, val_is(c2, 1), name="Sim")
+
+
+def dependency(prop1: object, prop2: object) -> Rule:
+    """The σDep[p1, p2] rule: subjects having ``p1`` also have ``p2``.
+
+    ``subj(c1) = subj(c2) ∧ prop(c1) = p1 ∧ prop(c2) = p2 ∧ val(c1) = 1 ↦ val(c2) = 1``
+    """
+    p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
+    c1, c2 = Var("c1"), Var("c2")
+    antecedent = conjunction(
+        same_subj(c1, c2),
+        prop_is(c1, p1),
+        prop_is(c2, p2),
+        val_is(c1, 1),
+    )
+    return Rule(antecedent, val_is(c2, 1), name=f"Dep[{p1.local_name}, {p2.local_name}]")
+
+
+def symmetric_dependency(prop1: object, prop2: object) -> Rule:
+    """The σSymDep[p1, p2] rule: having either property implies having both.
+
+    ``subj(c1) = subj(c2) ∧ prop(c1) = p1 ∧ prop(c2) = p2 ∧ (val(c1) = 1 ∨ val(c2) = 1)
+    ↦ val(c1) = 1 ∧ val(c2) = 1``
+    """
+    p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
+    c1, c2 = Var("c1"), Var("c2")
+    antecedent = conjunction(
+        same_subj(c1, c2),
+        prop_is(c1, p1),
+        prop_is(c2, p2),
+        disjunction(val_is(c1, 1), val_is(c2, 1)),
+    )
+    consequent = conjunction(val_is(c1, 1), val_is(c2, 1))
+    return Rule(
+        antecedent, consequent, name=f"SymDep[{p1.local_name}, {p2.local_name}]"
+    )
+
+
+def conditional_dependency(prop1: object, prop2: object) -> Rule:
+    """The disjunctive-consequent dependency variant of Section 3.2.
+
+    ``subj(c1) = subj(c2) ∧ prop(c1) = p1 ∧ prop(c2) = p2
+    ↦ val(c1) = 0 ∨ val(c2) = 1``
+
+    It measures the probability that a random subject satisfies the
+    implication "if it has p1, then it has p2".
+    """
+    p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
+    c1, c2 = Var("c1"), Var("c2")
+    antecedent = conjunction(
+        same_subj(c1, c2),
+        prop_is(c1, p1),
+        prop_is(c2, p2),
+    )
+    consequent = disjunction(val_is(c1, 0), val_is(c2, 1))
+    return Rule(
+        antecedent, consequent, name=f"CondDep[{p1.local_name}, {p2.local_name}]"
+    )
+
+
+#: Names of the parameter-free standard rules, for CLI/registry lookups.
+STANDARD_RULES = ("Cov", "Sim")
+
+
+def standard_rules() -> Sequence[Rule]:
+    """Return the parameter-free rules used throughout the experiments."""
+    return (coverage(), similarity())

@@ -1,0 +1,266 @@
+"""A text parser for the rule language.
+
+Concrete syntax (case-insensitive keywords)::
+
+    rule      :=  formula "->" formula
+    formula   :=  disjunct ( ("or" | "|") disjunct )*
+    disjunct  :=  conjunct ( ("and" | "&") conjunct )*
+    conjunct  :=  ("not" | "!" | "~") conjunct  |  "(" formula ")"  |  atom
+    atom      :=  term ("=" | "!=") term
+    term      :=  "val"  "(" variable ")"
+               |  "subj" "(" variable ")"
+               |  "prop" "(" variable ")"
+               |  variable
+               |  "0" | "1"
+               |  "<" uri ">"  |  '"' uri '"'
+
+Variables are bare identifiers (``c``, ``c1``, ``x`` ...); URIs must be
+enclosed in angle brackets or double quotes so they can never be confused
+with variables.  ``a != b`` is sugar for ``not (a = b)``.
+
+The accepted atoms are exactly those of Section 3.1; anything else (for
+example ``val(c) = prop(c)``) is rejected with a :class:`ParseError`.
+
+Examples
+--------
+>>> parse_rule("c = c -> val(c) = 1")                    # the Cov rule
+>>> parse_rule(
+...     "not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1"
+... )                                                     # the Sim rule
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.exceptions import ParseError
+from repro.rdf.terms import URI
+from repro.rules.ast import (
+    And,
+    Formula,
+    Not,
+    Or,
+    PropEq,
+    PropIs,
+    Rule,
+    SubjEq,
+    SubjIs,
+    ValEq,
+    ValIs,
+    Var,
+    VarEq,
+)
+
+__all__ = ["parse_rule", "parse_formula", "tokenize"]
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<ARROW>->|↦|\|->)
+  | (?P<URI><[^<>\s]+>|"[^"]+")
+  | (?P<NEQ>!=|≠)
+  | (?P<EQ>=)
+  | (?P<AND>∧|&&|&)
+  | (?P<OR>∨|\|\||\|)
+  | (?P<NOT>¬|!|~)
+  | (?P<LPAR>\()
+  | (?P<RPAR>\))
+  | (?P<BIT>[01](?![\w]))
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<WS>\s+)
+  | (?P<BAD>.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"val", "subj", "prop", "and", "or", "not"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> List[_Token]:
+    """Tokenise rule text, raising :class:`ParseError` on unknown characters."""
+    tokens: List[_Token] = []
+    for match in _TOKEN_PATTERN.finditer(text):
+        kind = match.lastgroup or "BAD"
+        value = match.group()
+        if kind == "WS":
+            continue
+        if kind == "BAD":
+            raise ParseError(f"unexpected character {value!r}", column=match.start() + 1)
+        if kind == "IDENT":
+            lowered = value.lower()
+            if lowered in ("and",):
+                kind = "AND"
+            elif lowered in ("or",):
+                kind = "OR"
+            elif lowered in ("not",):
+                kind = "NOT"
+            elif lowered in ("val", "subj", "prop"):
+                kind = lowered.upper()
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+#: Parsed terms are one of: ("val", Var), ("subj", Var), ("prop", Var),
+#: ("var", Var), ("bit", 0/1) or ("uri", URI).
+_Term = Tuple[str, Union[Var, int, URI]]
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[_Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # -- token helpers ----------------------------------------------------- #
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", column=len(self._text) + 1)
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.text!r}", column=token.position + 1
+            )
+        return token
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    # -- grammar ----------------------------------------------------------- #
+    def parse_rule(self) -> Rule:
+        antecedent = self.parse_formula()
+        self._expect("ARROW")
+        consequent = self.parse_formula()
+        self._ensure_done()
+        return Rule(antecedent, consequent)
+
+    def parse_single_formula(self) -> Formula:
+        formula = self.parse_formula()
+        self._ensure_done()
+        return formula
+
+    def _ensure_done(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise ParseError(
+                f"unexpected trailing input starting at {token.text!r}",
+                column=token.position + 1,
+            )
+
+    def parse_formula(self) -> Formula:
+        left = self.parse_disjunct()
+        operands = [left]
+        while self._accept("OR"):
+            operands.append(self.parse_disjunct())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(*operands)
+
+    def parse_disjunct(self) -> Formula:
+        left = self.parse_conjunct()
+        operands = [left]
+        while self._accept("AND"):
+            operands.append(self.parse_conjunct())
+        if len(operands) == 1:
+            return operands[0]
+        return And(*operands)
+
+    def parse_conjunct(self) -> Formula:
+        if self._accept("NOT"):
+            return Not(self.parse_conjunct())
+        if self._accept("LPAR"):
+            inner = self.parse_formula()
+            self._expect("RPAR")
+            return inner
+        return self.parse_atom()
+
+    def parse_atom(self) -> Formula:
+        left = self.parse_term()
+        operator = self._next()
+        if operator.kind not in ("EQ", "NEQ"):
+            raise ParseError(
+                f"expected '=' or '!=' but found {operator.text!r}",
+                column=operator.position + 1,
+            )
+        right = self.parse_term()
+        atom = self._build_atom(left, right, operator)
+        if operator.kind == "NEQ":
+            return Not(atom)
+        return atom
+
+    def parse_term(self) -> _Term:
+        token = self._next()
+        if token.kind in ("VAL", "SUBJ", "PROP"):
+            self._expect("LPAR")
+            var_token = self._expect("IDENT")
+            self._expect("RPAR")
+            return (token.kind.lower(), Var(var_token.text))
+        if token.kind == "IDENT":
+            return ("var", Var(token.text))
+        if token.kind == "BIT":
+            return ("bit", int(token.text))
+        if token.kind == "URI":
+            return ("uri", URI(token.text[1:-1]))
+        raise ParseError(f"unexpected token {token.text!r}", column=token.position + 1)
+
+    def _build_atom(self, left: _Term, right: _Term, operator: _Token) -> Formula:
+        kinds = (left[0], right[0])
+        column = operator.position + 1
+
+        # Normalise so the "function" side (val/subj/prop/var) comes first.
+        if kinds[0] in ("bit", "uri") and kinds[1] not in ("bit", "uri"):
+            left, right = right, left
+            kinds = (left[0], right[0])
+
+        if kinds == ("val", "bit"):
+            return ValIs(left[1], right[1])
+        if kinds == ("val", "val"):
+            return ValEq(left[1], right[1])
+        if kinds == ("subj", "uri"):
+            return SubjIs(left[1], right[1])
+        if kinds == ("subj", "subj"):
+            return SubjEq(left[1], right[1])
+        if kinds == ("prop", "uri"):
+            return PropIs(left[1], right[1])
+        if kinds == ("prop", "prop"):
+            return PropEq(left[1], right[1])
+        if kinds == ("var", "var"):
+            return VarEq(left[1], right[1])
+        raise ParseError(
+            f"the comparison '{left[0]} {operator.text} {right[0]}' is not part of the language",
+            column=column,
+        )
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse rule text ``"antecedent -> consequent"`` into a :class:`Rule`."""
+    return _Parser(tokenize(text), text).parse_rule()
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a single formula (no ``->``) into a :class:`Formula`."""
+    return _Parser(tokenize(text), text).parse_single_formula()

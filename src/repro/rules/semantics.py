@@ -1,0 +1,132 @@
+"""Reference (naive) semantics of the rule language.
+
+This module implements Section 3.2 literally: a *variable assignment* is a
+partial function ``ρ : V → S(D) × P(D)`` mapping variables to cells of the
+matrix ``M``, satisfaction ``(M, ρ) |= ϕ`` is defined by structural
+recursion, ``total(ϕ, M)`` is the set of satisfying assignments, and
+
+``σ_r(M) = |total(ϕ1 ∧ ϕ2, M)| / |total(ϕ1, M)|``  (1 when the denominator is 0).
+
+Everything here enumerates *all* assignments, i.e. ``(|S| · |P|)^n`` of
+them for a rule with ``n`` variables.  It is exponentially slower than the
+backtracking evaluator (:mod:`repro.rules.evaluator`) and the closed forms
+(:mod:`repro.functions.structuredness`) but it is the ground truth the
+faster paths are tested against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Iterator, List, Tuple
+
+from repro.exceptions import EvaluationError
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.rules.ast import (
+    And,
+    Formula,
+    Not,
+    Or,
+    PropEq,
+    PropIs,
+    Rule,
+    SubjEq,
+    SubjIs,
+    ValEq,
+    ValIs,
+    Var,
+    VarEq,
+)
+
+__all__ = [
+    "Assignment",
+    "satisfies",
+    "iter_assignments",
+    "iter_satisfying_assignments",
+    "count_satisfying_naive",
+    "sigma_naive",
+    "sigma_naive_fraction",
+]
+
+#: An assignment maps each variable to a (row index, column index) cell.
+Assignment = Dict[Var, Tuple[int, int]]
+
+
+def satisfies(matrix: PropertyMatrix, assignment: Assignment, formula: Formula) -> bool:
+    """Return whether ``(M, ρ) |= ϕ`` for the given matrix and assignment.
+
+    The assignment must bind every variable of the formula; positions are
+    (row index, column index) pairs into ``matrix``.
+    """
+    missing = formula.variables() - set(assignment)
+    if missing:
+        names = ", ".join(sorted(v.name for v in missing))
+        raise EvaluationError(f"assignment does not bind variables: {names}")
+    return _satisfies(matrix, assignment, formula)
+
+
+def _satisfies(matrix: PropertyMatrix, rho: Assignment, formula: Formula) -> bool:
+    if isinstance(formula, ValIs):
+        row, col = rho[formula.var]
+        return matrix.cell_by_index(row, col) == formula.value
+    if isinstance(formula, SubjIs):
+        row, _col = rho[formula.var]
+        return matrix.subjects[row] == formula.uri
+    if isinstance(formula, PropIs):
+        _row, col = rho[formula.var]
+        return matrix.properties[col] == formula.uri
+    if isinstance(formula, VarEq):
+        return rho[formula.left] == rho[formula.right]
+    if isinstance(formula, ValEq):
+        row1, col1 = rho[formula.left]
+        row2, col2 = rho[formula.right]
+        return matrix.cell_by_index(row1, col1) == matrix.cell_by_index(row2, col2)
+    if isinstance(formula, SubjEq):
+        return rho[formula.left][0] == rho[formula.right][0]
+    if isinstance(formula, PropEq):
+        return rho[formula.left][1] == rho[formula.right][1]
+    if isinstance(formula, Not):
+        return not _satisfies(matrix, rho, formula.operand)
+    if isinstance(formula, And):
+        return all(_satisfies(matrix, rho, operand) for operand in formula.operands)
+    if isinstance(formula, Or):
+        return any(_satisfies(matrix, rho, operand) for operand in formula.operands)
+    raise EvaluationError(f"unsupported formula node: {type(formula).__name__}")
+
+
+def iter_assignments(matrix: PropertyMatrix, variables: List[Var]) -> Iterator[Assignment]:
+    """Yield every assignment of ``variables`` to cells of ``matrix``."""
+    cells = [
+        (row, col)
+        for row in range(matrix.n_subjects)
+        for col in range(matrix.n_properties)
+    ]
+    for combo in itertools.product(cells, repeat=len(variables)):
+        yield dict(zip(variables, combo))
+
+
+def iter_satisfying_assignments(matrix: PropertyMatrix, formula: Formula) -> Iterator[Assignment]:
+    """Yield ``total(ϕ, M)``: every assignment with domain ``var(ϕ)`` satisfying ϕ."""
+    variables = sorted(formula.variables())
+    for assignment in iter_assignments(matrix, variables):
+        if _satisfies(matrix, assignment, formula):
+            yield assignment
+
+
+def count_satisfying_naive(matrix: PropertyMatrix, formula: Formula) -> int:
+    """Return ``|total(ϕ, M)|`` by brute-force enumeration."""
+    return sum(1 for _ in iter_satisfying_assignments(matrix, formula))
+
+
+def sigma_naive_fraction(rule: Rule, matrix: PropertyMatrix) -> Fraction:
+    """Return ``σ_r(M)`` as an exact fraction via brute-force enumeration."""
+    total = count_satisfying_naive(matrix, rule.antecedent)
+    if total == 0:
+        return Fraction(1)
+    favourable = count_satisfying_naive(matrix, rule.combined())
+    return Fraction(favourable, total)
+
+
+def sigma_naive(rule: Rule, matrix: PropertyMatrix) -> float:
+    """Return ``σ_r(M)`` as a float via brute-force enumeration."""
+    return float(sigma_naive_fraction(rule, matrix))

@@ -1,0 +1,9 @@
+"""Relational property-table materialisation of sort refinements."""
+
+from repro.storage.property_tables import (
+    PropertyTable,
+    build_property_tables,
+    null_ratio_report,
+)
+
+__all__ = ["PropertyTable", "build_property_tables", "null_ratio_report"]

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import EX, RDF
+from repro.rdf.terms import Literal
+
+
+@pytest.fixture
+def tiny_graph() -> RDFGraph:
+    """A six-triple graph with two typed subjects and one untyped subject."""
+    graph = RDFGraph(name="tiny")
+    graph.add(EX.alice, RDF.type, EX.Person)
+    graph.add(EX.alice, EX.name, Literal("Alice"))
+    graph.add(EX.alice, EX.age, Literal("42"))
+    graph.add(EX.bob, RDF.type, EX.Person)
+    graph.add(EX.bob, EX.name, Literal("Bob"))
+    graph.add(EX.city, EX.name, Literal("Paris"))
+    return graph
+
+
+@pytest.fixture
+def paper_d1_matrix() -> PropertyMatrix:
+    """The matrix M(D1) of Figure 1a: N subjects all having the single property p."""
+    n = 5
+    data = np.ones((n, 1), dtype=bool)
+    subjects = [EX[f"s{i}"] for i in range(n)]
+    return PropertyMatrix(data, subjects, [EX.p], name="D1")
+
+
+@pytest.fixture
+def paper_d2_matrix() -> PropertyMatrix:
+    """The matrix M(D2) of Figure 1b: D1 plus one subject with an extra property q."""
+    n = 5
+    data = np.zeros((n, 2), dtype=bool)
+    data[:, 0] = True
+    data[0, 1] = True
+    subjects = [EX[f"s{i}"] for i in range(n)]
+    return PropertyMatrix(data, subjects, [EX.p, EX.q], name="D2")
+
+
+@pytest.fixture
+def paper_d3_matrix() -> PropertyMatrix:
+    """The matrix M(D3) of Figure 1c: a diagonal matrix (every subject has its own property)."""
+    n = 5
+    data = np.eye(n, dtype=bool)
+    subjects = [EX[f"s{i}"] for i in range(n)]
+    properties = [EX[f"p{i}"] for i in range(n)]
+    return PropertyMatrix(data, subjects, properties, name="D3")
+
+
+@pytest.fixture
+def toy_persons_table() -> SignatureTable:
+    """A small persons-like signature table with an obvious alive/dead split."""
+    counts = {
+        frozenset([EX.name, EX.birthDate]): 50,
+        frozenset([EX.name]): 30,
+        frozenset([EX.name, EX.birthDate, EX.deathDate]): 20,
+        frozenset([EX.name, EX.birthDate, EX.deathDate, EX.description]): 10,
+        frozenset([EX.name, EX.description]): 5,
+    }
+    properties = [EX.name, EX.birthDate, EX.deathDate, EX.description]
+    return SignatureTable.from_counts(properties, counts, name="toy persons")
+
+
+@pytest.fixture
+def tracked_matrix() -> PropertyMatrix:
+    """A small matrix whose rows map deterministically onto three signatures."""
+    rows = {
+        EX.a1: [EX.p, EX.q],
+        EX.a2: [EX.p, EX.q],
+        EX.b1: [EX.p],
+        EX.b2: [EX.p],
+        EX.b3: [EX.p],
+        EX.c1: [EX.q, EX.r],
+    }
+    return PropertyMatrix.from_rows(rows, properties=[EX.p, EX.q, EX.r], name="tracked")

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import graph_from_signature_table
+from repro.rdf.namespaces import EX
+from repro.rdf.ntriples import dump_ntriples
+
+
+@pytest.fixture
+def persons_file(tmp_path, toy_persons_table):
+    graph = graph_from_signature_table(toy_persons_table, EX.Person)
+    path = tmp_path / "persons.nt"
+    dump_ntriples(graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_build_parser_has_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        assert "evaluate" in text and "refine" in text and "experiment" in text
+
+
+class TestEvaluate:
+    def test_reports_cov_and_sim(self, persons_file, capsys):
+        assert main(["evaluate", persons_file]) == 0
+        out = capsys.readouterr().out
+        assert "Cov = " in out and "Sim = " in out
+
+    def test_sort_filter(self, persons_file, capsys):
+        assert main(["evaluate", persons_file, "--sort", str(EX.Person)]) == 0
+        out = capsys.readouterr().out
+        assert "115 subjects" in out
+
+    def test_custom_rule(self, persons_file, capsys):
+        assert main(["evaluate", persons_file, "--rule", "c = c -> val(c) = 1"]) == 0
+        assert "sigma[" in capsys.readouterr().out
+
+    def test_figure_flag(self, persons_file, capsys):
+        assert main(["evaluate", persons_file, "--figure"]) == 0
+        assert "signatures" in capsys.readouterr().out
+
+
+class TestRefine:
+    def test_highest_theta_mode(self, persons_file, capsys):
+        assert main(["refine", persons_file, "-k", "2", "--step", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "highest theta for k = 2" in out
+        assert "sort 1" in out
+
+    def test_lowest_k_mode(self, persons_file, capsys):
+        assert main(["refine", persons_file, "--theta", "0.9"]) == 0
+        assert "lowest k for theta = 0.9" in capsys.readouterr().out
+
+    def test_custom_rule_refinement(self, persons_file, capsys):
+        rule = "not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1"
+        assert main(["refine", persons_file, "--rule", rule, "-k", "2", "--step", "0.05"]) == 0
+
+    def test_requires_exactly_one_mode(self, persons_file):
+        with pytest.raises(SystemExit):
+            main(["refine", persons_file])
+        with pytest.raises(SystemExit):
+            main(["refine", persons_file, "-k", "2", "--theta", "0.9"])
+
+
+class TestExperiment:
+    def test_list_experiments(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure8" in out
+
+    def test_run_table1_with_params(self, capsys):
+        assert main(["experiment", "table1", "--param", "n_subjects=2000"]) == 0
+        assert "deathPlace" in capsys.readouterr().out
+
+    def test_bad_param_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table1", "--param", "oops"])

@@ -1,0 +1,207 @@
+"""Tests for the synthetic dataset generators (the paper's data substitutes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    PropertyModel,
+    cap_signatures,
+    dbpedia_persons_graph,
+    dbpedia_persons_table,
+    graph_from_signature_table,
+    mixed_drug_companies_and_sultans,
+    random_signature_table,
+    sample_signature_table,
+    signature_histogram,
+    property_histogram,
+    wordnet_nouns_graph,
+    wordnet_nouns_table,
+    yago_sort_sample,
+)
+from repro.datasets.dbpedia_persons import PERSONS_NAMESPACE, PERSON_SORT
+from repro.datasets.wordnet_nouns import NOUN_SORT
+from repro.exceptions import DatasetError
+from repro.functions import coverage, dependency, similarity, symmetric_dependency
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import EX, RDF, WORDNET
+
+
+class TestSamplingPrimitives:
+    def test_sample_respects_subject_count(self):
+        models = [PropertyModel(EX.p, probability=1.0), PropertyModel(EX.q, probability=0.5)]
+        table = sample_signature_table(models, n_subjects=200, seed=1)
+        assert table.n_subjects == 200
+        assert table.property_count(EX.p) == 200
+
+    def test_sampling_is_deterministic_for_a_seed(self):
+        models = [PropertyModel(EX.p, probability=0.5), PropertyModel(EX.q, probability=0.5)]
+        a = sample_signature_table(models, n_subjects=300, seed=3)
+        b = sample_signature_table(models, n_subjects=300, seed=3)
+        c = sample_signature_table(models, n_subjects=300, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_conditional_probability_drives_correlation(self):
+        models = [
+            PropertyModel(EX.p, probability=0.5),
+            PropertyModel(
+                EX.q, conditional_on=EX.p, probability_if_present=0.9, probability_if_absent=0.05
+            ),
+        ]
+        table = sample_signature_table(models, n_subjects=3000, seed=5)
+        assert dependency(table, EX.p, EX.q) > 0.8
+        assert dependency(table, EX.q, EX.p) > 0.8
+
+    def test_probability_function_hook(self):
+        def q_probability(present):
+            return 1.0 if present.get(EX.p, False) else 0.0
+
+        models = [
+            PropertyModel(EX.p, probability=0.5),
+            PropertyModel(EX.q, probability_function=q_probability),
+        ]
+        table = sample_signature_table(models, n_subjects=500, seed=6)
+        assert dependency(table, EX.q, EX.p) == 1.0
+
+    def test_conditional_on_unknown_earlier_property_raises(self):
+        models = [
+            PropertyModel(
+                EX.q, conditional_on=EX.p, probability_if_present=0.9, probability_if_absent=0.1
+            ),
+            PropertyModel(EX.p, probability=0.5),
+        ]
+        with pytest.raises(DatasetError):
+            sample_signature_table(models, n_subjects=10, seed=0)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(DatasetError):
+            PropertyModel(EX.p, probability=1.5)
+
+    def test_cap_signatures_preserves_subjects_and_bounds_signatures(self):
+        models = [PropertyModel(EX[f"p{i}"], probability=0.5) for i in range(6)]
+        table = sample_signature_table(models, n_subjects=2000, seed=9)
+        capped = cap_signatures(table, 10)
+        assert capped.n_signatures <= 10
+        assert capped.n_subjects == table.n_subjects
+
+    def test_cap_signatures_noop_when_under_limit(self, toy_persons_table):
+        assert cap_signatures(toy_persons_table, 100) is toy_persons_table
+
+    def test_graph_from_signature_table_round_trips(self, toy_persons_table):
+        graph = graph_from_signature_table(toy_persons_table, EX.Person)
+        assert graph.all_sorts() == {EX.Person}
+        rebuilt = SignatureTable.from_graph(graph.sort_subgraph(EX.Person))
+        assert rebuilt.counts() == toy_persons_table.counts()
+
+    def test_random_signature_table_dimensions(self):
+        table = random_signature_table(n_properties=8, n_signatures=10, n_subjects=500, seed=2)
+        assert table.n_properties == 8
+        assert table.n_signatures <= 10
+        assert table.n_subjects == 500
+
+    def test_random_signature_table_rejects_bad_dimensions(self):
+        with pytest.raises(DatasetError):
+            random_signature_table(n_properties=0, n_signatures=1, n_subjects=10)
+        with pytest.raises(DatasetError):
+            random_signature_table(n_properties=3, n_signatures=10, n_subjects=5)
+
+
+class TestDBpediaPersons:
+    def test_dimensions_match_the_paper(self):
+        table = dbpedia_persons_table(n_subjects=10_000)
+        assert table.n_properties == 8
+        assert table.n_signatures <= 64
+        assert table.n_subjects == 10_000
+
+    def test_structuredness_matches_the_paper(self):
+        table = dbpedia_persons_table(n_subjects=20_000)
+        assert coverage(table) == pytest.approx(0.54, abs=0.03)
+        assert similarity(table) == pytest.approx(0.77, abs=0.03)
+        ns = PERSONS_NAMESPACE
+        assert symmetric_dependency(table, ns.deathPlace, ns.deathDate) == pytest.approx(0.39, abs=0.05)
+
+    def test_death_place_row_dominates_dependencies(self):
+        """Table 1's headline: Dep[deathPlace, *] is uniformly high."""
+        table = dbpedia_persons_table(n_subjects=20_000)
+        ns = PERSONS_NAMESPACE
+        others = [ns.birthPlace, ns.deathDate, ns.birthDate]
+        death_place_row = [dependency(table, ns.deathPlace, p) for p in others]
+        assert min(death_place_row) > 0.7
+        assert dependency(table, ns.birthDate, ns.deathPlace) < 0.3
+
+    def test_everyone_has_a_name(self):
+        table = dbpedia_persons_table(n_subjects=5_000)
+        assert table.property_count(PERSONS_NAMESPACE.name) == table.n_subjects
+
+    def test_graph_variant_is_typed(self):
+        graph = dbpedia_persons_graph(n_subjects=300)
+        assert graph.all_sorts() == {PERSON_SORT}
+        assert len(graph.sort_subgraph(PERSON_SORT).subjects()) == 300
+
+
+class TestWordNetNouns:
+    def test_dimensions_match_the_paper(self):
+        table = wordnet_nouns_table(n_subjects=8_000)
+        assert table.n_properties == 12
+        assert table.n_signatures <= 53
+
+    def test_structuredness_matches_the_paper(self):
+        table = wordnet_nouns_table(n_subjects=15_000)
+        assert coverage(table) == pytest.approx(0.44, abs=0.03)
+        assert similarity(table) == pytest.approx(0.93, abs=0.03)
+
+    def test_gloss_is_nearly_universal_and_attribute_is_rare(self):
+        table = wordnet_nouns_table(n_subjects=10_000)
+        assert table.property_count(WORDNET.gloss) / table.n_subjects > 0.95
+        assert table.property_count(WORDNET.attribute) / table.n_subjects < 0.05
+
+    def test_graph_variant_is_typed(self):
+        graph = wordnet_nouns_graph(n_subjects=200)
+        assert graph.all_sorts() == {NOUN_SORT}
+
+
+class TestYagoSample:
+    def test_sample_size_and_determinism(self):
+        a = yago_sort_sample(n_sorts=10, seed=1)
+        b = yago_sort_sample(n_sorts=10, seed=1)
+        assert len(a) == 10
+        assert [t.counts() for t in a] == [t.counts() for t in b]
+
+    def test_structural_parameter_ranges(self):
+        sample = yago_sort_sample(n_sorts=15, seed=2, max_signatures=30, max_properties=18)
+        assert all(1 <= table.n_signatures <= 30 for table in sample)
+        assert all(3 <= table.n_properties <= 18 for table in sample)
+        assert all(table.n_subjects >= table.n_signatures for table in sample)
+
+    def test_histograms_cover_every_sort(self):
+        sample = yago_sort_sample(n_sorts=12, seed=3)
+        assert sum(count for _label, count in signature_histogram(sample)) == 12
+        assert sum(count for _label, count in property_histogram(sample)) == 12
+
+    def test_invalid_sample_size_raises(self):
+        with pytest.raises(DatasetError):
+            yago_sort_sample(n_sorts=0)
+
+
+class TestMixedDataset:
+    def test_totals_and_truth_are_consistent(self):
+        mixed = mixed_drug_companies_and_sultans(n_drug_companies=120, n_sultans=100, seed=1)
+        assert mixed.table.n_subjects == 220
+        assert mixed.n_drug_companies == 120
+        assert mixed.n_sultans == 100
+        for signature in mixed.table.signatures:
+            drug, sultan = mixed.truth[signature]
+            assert drug + sultan == mixed.table.count(signature)
+
+    def test_sorts_share_syntax_properties(self):
+        mixed = mixed_drug_companies_and_sultans(seed=2)
+        shared = set(mixed.drug_companies.properties) & set(mixed.sultans.properties)
+        assert RDF.type in shared
+        assert len(shared) >= 4
+
+    def test_sorts_have_distinctive_properties_too(self):
+        mixed = mixed_drug_companies_and_sultans(seed=2)
+        only_companies = set(mixed.drug_companies.properties) - set(mixed.sultans.properties)
+        only_sultans = set(mixed.sultans.properties) - set(mixed.drug_companies.properties)
+        assert only_companies and only_sultans

@@ -1,0 +1,146 @@
+"""Tests for the decision procedure and the two search strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision import decide_sort_refinement, exists_sort_refinement
+from repro.core.encoder import SortRefinementEncoder
+from repro.core.search import highest_theta_refinement, lowest_k_refinement
+from repro.exceptions import RefinementError
+from repro.functions import coverage_function, similarity_function
+from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import EX
+from repro.rules import coverage, similarity
+
+
+class TestDecision:
+    def test_trivial_threshold_is_always_feasible(self, toy_persons_table):
+        base = coverage_function()(toy_persons_table)
+        decision = decide_sort_refinement(toy_persons_table, coverage(), theta=base * 0.99, k=1)
+        assert decision.feasible
+        assert decision.refinement is not None
+        assert decision.refinement.k == 1
+
+    def test_impossible_threshold_is_infeasible(self, toy_persons_table):
+        # theta = 1 with k = 1 requires the whole dataset to be perfectly covered.
+        decision = decide_sort_refinement(toy_persons_table, coverage(), theta=1.0, k=1)
+        assert not decision.feasible
+        assert decision.refinement is None
+        assert not bool(decision)
+
+    def test_enough_sorts_make_theta_one_feasible(self, toy_persons_table):
+        # One sort per signature: every sort is a single signature set, Cov = 1.
+        k = toy_persons_table.n_signatures
+        assert exists_sort_refinement(toy_persons_table, coverage(), theta=1.0, k=k)
+
+    def test_feasibility_is_monotone_in_k(self, toy_persons_table):
+        theta = 0.9
+        answers = [
+            exists_sort_refinement(toy_persons_table, coverage(), theta=theta, k=k)
+            for k in range(1, toy_persons_table.n_signatures + 1)
+        ]
+        # once feasible, it stays feasible for larger k
+        assert answers == sorted(answers)
+
+    def test_refinement_satisfies_requested_threshold(self, toy_persons_table):
+        decision = decide_sort_refinement(toy_persons_table, coverage(), theta=0.75, k=3)
+        assert decision.feasible
+        assert decision.refinement.min_structuredness(coverage_function()) >= 0.75 - 1e-9
+
+    def test_timings_are_recorded(self, toy_persons_table):
+        decision = decide_sort_refinement(toy_persons_table, coverage(), theta=0.7, k=2)
+        assert decision.solve_time >= 0
+        assert decision.total_time >= decision.solve_time
+
+    def test_custom_encoder_and_solver_are_used(self, toy_persons_table):
+        encoder = SortRefinementEncoder(coverage(), symmetry_breaking=False)
+        solver = ScipyMilpSolver(time_limit=30)
+        decision = decide_sort_refinement(
+            toy_persons_table, coverage(), theta=0.7, k=2, solver=solver, encoder=encoder
+        )
+        assert decision.feasible
+        assert decision.solution.backend == "scipy-highs"
+
+
+class TestHighestThetaSearch:
+    def test_search_improves_over_baseline(self, toy_persons_table):
+        cov = coverage_function()
+        baseline = cov(toy_persons_table)
+        result = highest_theta_refinement(toy_persons_table, coverage(), k=2)
+        assert result.theta >= baseline
+        assert result.refinement.min_structuredness(cov) >= result.theta - 1e-9
+        assert result.refinement.k <= 2
+
+    def test_search_trace_is_recorded(self, toy_persons_table):
+        result = highest_theta_refinement(toy_persons_table, coverage(), k=2, step=0.05)
+        assert result.n_probes == len(result.steps)
+        assert result.steps[-1].feasible in (True, False)
+        # all but (possibly) the last probe are feasible
+        assert all(step.feasible for step in result.steps[:-1])
+
+    def test_bigger_step_means_fewer_probes(self, toy_persons_table):
+        fine = highest_theta_refinement(toy_persons_table, coverage(), k=2, step=0.01)
+        coarse = highest_theta_refinement(toy_persons_table, coverage(), k=2, step=0.05)
+        assert coarse.n_probes <= fine.n_probes
+        assert coarse.theta <= fine.theta + 1e-9
+
+    def test_explicit_initial_theta(self, toy_persons_table):
+        result = highest_theta_refinement(
+            toy_persons_table, coverage(), k=2, initial_theta=0.7, step=0.05
+        )
+        assert result.theta >= 0.7
+
+    def test_infeasible_initial_theta_raises(self, toy_persons_table):
+        with pytest.raises(RefinementError):
+            highest_theta_refinement(toy_persons_table, coverage(), k=1, initial_theta=0.99)
+
+    def test_invalid_step_raises(self, toy_persons_table):
+        with pytest.raises(RefinementError):
+            highest_theta_refinement(toy_persons_table, coverage(), k=2, step=0)
+
+    def test_callback_sees_every_probe(self, toy_persons_table):
+        seen = []
+        result = highest_theta_refinement(
+            toy_persons_table, coverage(), k=2, step=0.05, callback=seen.append
+        )
+        assert len(seen) == result.n_probes
+
+    def test_k_one_returns_the_trivial_refinement(self, toy_persons_table):
+        result = highest_theta_refinement(toy_persons_table, coverage(), k=1, step=0.05)
+        assert result.refinement.k == 1
+        assert result.theta <= coverage_function()(toy_persons_table) + 1e-9
+
+
+class TestLowestKSearch:
+    def test_upward_search_finds_minimum_k(self, toy_persons_table):
+        result = lowest_k_refinement(toy_persons_table, coverage(), theta=0.9, direction="up")
+        assert result.k >= 2
+        # k - 1 sorts must be infeasible (that is what "lowest" means)
+        assert not exists_sort_refinement(toy_persons_table, coverage(), theta=0.9, k=result.k - 1)
+
+    def test_downward_search_agrees_with_upward(self, toy_persons_table):
+        up = lowest_k_refinement(toy_persons_table, coverage(), theta=0.9, direction="up")
+        down = lowest_k_refinement(toy_persons_table, coverage(), theta=0.9, direction="down")
+        assert up.k == down.k
+
+    def test_threshold_is_met_by_result(self, toy_persons_table):
+        result = lowest_k_refinement(toy_persons_table, coverage(), theta=0.85)
+        assert result.refinement.min_structuredness(coverage_function()) >= 0.85 - 1e-9
+
+    def test_similarity_rule_search(self, toy_persons_table):
+        result = lowest_k_refinement(toy_persons_table, similarity(), theta=0.9)
+        assert result.refinement.min_structuredness(similarity_function()) >= 0.9 - 1e-9
+
+    def test_impossible_range_raises(self, toy_persons_table):
+        with pytest.raises(RefinementError):
+            lowest_k_refinement(toy_persons_table, coverage(), theta=0.99, k_min=1, k_max=1)
+
+    def test_invalid_direction_raises(self, toy_persons_table):
+        with pytest.raises(RefinementError):
+            lowest_k_refinement(toy_persons_table, coverage(), theta=0.9, direction="sideways")
+
+    def test_invalid_k_range_raises(self, toy_persons_table):
+        with pytest.raises(RefinementError):
+            lowest_k_refinement(toy_persons_table, coverage(), theta=0.9, k_min=5, k_max=2)

@@ -1,0 +1,71 @@
+"""Tests for the symmetry-breaking options of the ILP encoder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoder import SortRefinementEncoder
+from repro.core.search import lowest_k_refinement
+from repro.exceptions import RefinementError
+from repro.functions import coverage_function
+from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import EX
+from repro.rules import coverage
+
+
+@pytest.fixture
+def table() -> SignatureTable:
+    counts = {
+        frozenset([EX.a]): 5,
+        frozenset([EX.a, EX.b]): 4,
+        frozenset([EX.b, EX.c]): 3,
+        frozenset([EX.c]): 2,
+    }
+    return SignatureTable.from_counts([EX.a, EX.b, EX.c], counts)
+
+
+class TestSymmetryModes:
+    @pytest.mark.parametrize("mode", ["hash", "anchor", "none"])
+    def test_all_modes_agree_on_feasibility(self, table, mode):
+        encoder = SortRefinementEncoder(coverage(), symmetry_breaking=mode)
+        for theta, k, expected in ((0.7, 2, True), (0.99, 2, False)):
+            instance = encoder.encode(table, k=k, theta=theta)
+            assert ScipyMilpSolver().solve(instance.model).is_feasible == expected
+
+    def test_boolean_aliases(self):
+        assert SortRefinementEncoder(coverage(), symmetry_breaking=True).symmetry_breaking == "hash"
+        assert SortRefinementEncoder(coverage(), symmetry_breaking=False).symmetry_breaking == "none"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(RefinementError):
+            SortRefinementEncoder(coverage(), symmetry_breaking="alphabetical")
+
+    def test_anchor_mode_pins_largest_signature_to_first_sort(self, table):
+        encoder = SortRefinementEncoder(coverage(), symmetry_breaking="anchor")
+        instance = encoder.encode(table, k=2, theta=0.7)
+        solution = ScipyMilpSolver().solve(instance.model)
+        largest = table.signatures[0]
+        assert solution.int_value(instance.x_vars[(0, largest)]) == 1
+
+    def test_anchor_adds_exactly_one_constraint(self, table):
+        without = SortRefinementEncoder(coverage(), symmetry_breaking="none").encode(
+            table, k=2, theta=0.7
+        )
+        anchored = SortRefinementEncoder(coverage(), symmetry_breaking="anchor").encode(
+            table, k=2, theta=0.7
+        )
+        assert anchored.model.n_constraints == without.model.n_constraints + 1
+
+
+class TestAutoDirectionSearch:
+    def test_auto_matches_up_search(self, toy_persons_table):
+        up = lowest_k_refinement(toy_persons_table, coverage(), theta=0.9, direction="up")
+        auto = lowest_k_refinement(toy_persons_table, coverage(), theta=0.9, direction="auto")
+        assert auto.k == up.k
+        assert auto.refinement.min_structuredness(coverage_function()) >= 0.9 - 1e-9
+
+    def test_auto_probes_fewer_infeasible_instances(self, toy_persons_table):
+        auto = lowest_k_refinement(toy_persons_table, coverage(), theta=0.9, direction="auto")
+        infeasible = [step for step in auto.steps if not step.feasible]
+        assert len(infeasible) <= 1

@@ -1,0 +1,169 @@
+"""Tests for the closed-form structuredness functions.
+
+These tie the closed forms to the rule semantics (which other test modules
+tie to the naive reference), and check the σ = 1 conventions for missing
+columns that the paper's Section 7.1 analysis relies on.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EvaluationError
+from repro.functions.structuredness import (
+    as_signature_table,
+    conditional_dependency,
+    coverage,
+    coverage_function,
+    dependency,
+    dependency_function,
+    function_from_rule,
+    similarity,
+    similarity_function,
+    symmetric_dependency,
+    symmetric_dependency_function,
+)
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import EX
+from repro.rules import library
+from repro.rules.semantics import sigma_naive_fraction
+
+
+def small_matrix(data) -> PropertyMatrix:
+    array = np.asarray(data, dtype=bool)
+    subjects = [EX[f"s{i}"] for i in range(array.shape[0])]
+    properties = [EX[f"p{j}"] for j in range(array.shape[1])]
+    return PropertyMatrix(array, subjects, properties)
+
+
+class TestInputNormalisation:
+    def test_accepts_graph_matrix_and_table(self, tiny_graph):
+        matrix = PropertyMatrix.from_graph(tiny_graph)
+        table = SignatureTable.from_matrix(matrix)
+        assert coverage(tiny_graph) == coverage(matrix) == coverage(table)
+
+    def test_rejects_other_inputs(self):
+        with pytest.raises(EvaluationError):
+            as_signature_table([1, 2, 3])  # type: ignore[arg-type]
+
+
+class TestClosedFormsAgainstRules:
+    def test_coverage_matches_rule(self, paper_d2_matrix):
+        assert coverage(paper_d2_matrix, exact=True) == sigma_naive_fraction(
+            library.coverage(), paper_d2_matrix
+        )
+
+    def test_similarity_matches_rule(self, paper_d2_matrix):
+        assert similarity(paper_d2_matrix, exact=True) == sigma_naive_fraction(
+            library.similarity(), paper_d2_matrix
+        )
+
+    def test_dependency_matches_rule(self, paper_d2_matrix):
+        assert dependency(paper_d2_matrix, EX.p, EX.q, exact=True) == sigma_naive_fraction(
+            library.dependency(EX.p, EX.q), paper_d2_matrix
+        )
+
+    def test_symmetric_dependency_matches_rule(self, paper_d2_matrix):
+        assert symmetric_dependency(
+            paper_d2_matrix, EX.p, EX.q, exact=True
+        ) == sigma_naive_fraction(library.symmetric_dependency(EX.p, EX.q), paper_d2_matrix)
+
+    def test_conditional_dependency_matches_rule(self, paper_d2_matrix):
+        assert conditional_dependency(
+            paper_d2_matrix, EX.p, EX.q, exact=True
+        ) == sigma_naive_fraction(library.conditional_dependency(EX.p, EX.q), paper_d2_matrix)
+
+
+class TestMissingColumnConventions:
+    def test_dependency_is_one_when_either_column_is_missing(self, toy_persons_table):
+        assert dependency(toy_persons_table, EX.unknown, EX.name) == 1.0
+        assert dependency(toy_persons_table, EX.name, EX.unknown) == 1.0
+
+    def test_symmetric_dependency_is_one_when_a_column_is_missing(self, toy_persons_table):
+        # This is exactly the situation of Figure 4c: a sort without the
+        # deathPlace column trivially satisfies SymDep[deathPlace, deathDate].
+        alive_only = toy_persons_table.select(
+            [frozenset([EX.name, EX.birthDate]), frozenset([EX.name])]
+        )
+        assert EX.deathDate not in alive_only.properties
+        assert symmetric_dependency(alive_only, EX.deathDate, EX.description) == 1.0
+
+    def test_conditional_dependency_is_one_when_a_column_is_missing(self, toy_persons_table):
+        assert conditional_dependency(toy_persons_table, EX.unknown, EX.name) == 1.0
+
+    def test_coverage_of_empty_table_is_one(self):
+        table = SignatureTable.from_counts([], {})
+        assert coverage(table) == 1.0
+        assert similarity(table) == 1.0
+
+
+class TestFunctionObjects:
+    def test_function_objects_match_plain_functions(self, toy_persons_table):
+        assert coverage_function()(toy_persons_table) == coverage(toy_persons_table)
+        assert similarity_function()(toy_persons_table) == similarity(toy_persons_table)
+        assert dependency_function(EX.deathDate, EX.description)(toy_persons_table) == dependency(
+            toy_persons_table, EX.deathDate, EX.description
+        )
+        assert symmetric_dependency_function(EX.deathDate, EX.description)(
+            toy_persons_table
+        ) == symmetric_dependency(toy_persons_table, EX.deathDate, EX.description)
+
+    def test_function_from_rule_uses_signature_level_evaluation(self, toy_persons_table):
+        function = function_from_rule(library.coverage(), name="custom Cov")
+        assert function(toy_persons_table) == pytest.approx(coverage(toy_persons_table))
+        assert function.name == "custom Cov"
+
+    def test_exact_fraction_api(self, toy_persons_table):
+        value = coverage_function().evaluate_fraction(toy_persons_table)
+        assert isinstance(value, Fraction)
+        assert 0 <= value <= 1
+
+
+@st.composite
+def matrices(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=6))
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    cells = draw(
+        st.lists(
+            st.lists(st.booleans(), min_size=n_cols, max_size=n_cols),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    return small_matrix(cells)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=matrices())
+def test_all_functions_stay_in_unit_interval(matrix):
+    values = [
+        coverage(matrix),
+        similarity(matrix),
+        dependency(matrix, matrix.properties[0], matrix.properties[-1]),
+        symmetric_dependency(matrix, matrix.properties[0], matrix.properties[-1]),
+        conditional_dependency(matrix, matrix.properties[0], matrix.properties[-1]),
+    ]
+    assert all(0.0 <= value <= 1.0 for value in values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=matrices())
+def test_coverage_and_similarity_closed_forms_match_naive(matrix):
+    assert coverage(matrix, exact=True) == sigma_naive_fraction(library.coverage(), matrix)
+    assert similarity(matrix, exact=True) == sigma_naive_fraction(library.similarity(), matrix)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=matrices())
+def test_full_column_makes_dependency_one(matrix):
+    # If every subject has p_last, then Dep[p, p_last] = 1 for every p.
+    data = np.array(matrix.data, copy=True)
+    data[:, -1] = True
+    full = PropertyMatrix(data, matrix.subjects, matrix.properties)
+    assert dependency(full, full.properties[0], full.properties[-1]) == 1.0

@@ -1,0 +1,72 @@
+"""Tests for the greedy agglomerative refinement baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import GreedyRefiner
+from repro.core.search import highest_theta_refinement
+from repro.exceptions import RefinementError
+from repro.functions import coverage_function, similarity_function
+from repro.rules import coverage
+
+
+class TestRefineK:
+    def test_produces_at_most_k_sorts(self, toy_persons_table):
+        refiner = GreedyRefiner(coverage_function())
+        refinement = refiner.refine_k(toy_persons_table, 2)
+        assert refinement.k <= 2
+        refinement.validate()
+
+    def test_k_one_collapses_everything(self, toy_persons_table):
+        refinement = GreedyRefiner(coverage_function()).refine_k(toy_persons_table, 1)
+        assert refinement.k == 1
+        assert refinement.sizes[0] == toy_persons_table.n_subjects
+
+    def test_k_larger_than_signatures_keeps_singletons(self, toy_persons_table):
+        refinement = GreedyRefiner(coverage_function()).refine_k(toy_persons_table, 100)
+        assert refinement.k == toy_persons_table.n_signatures
+
+    def test_invalid_k_raises(self, toy_persons_table):
+        with pytest.raises(RefinementError):
+            GreedyRefiner(coverage_function()).refine_k(toy_persons_table, 0)
+
+    def test_greedy_is_a_lower_bound_for_the_exact_search(self, toy_persons_table):
+        """The exact ILP search must reach at least the greedy min-structuredness (up to the step)."""
+        cov = coverage_function()
+        greedy = GreedyRefiner(cov).refine_k(toy_persons_table, 2)
+        exact = highest_theta_refinement(toy_persons_table, coverage(), k=2, step=0.01)
+        assert exact.theta >= greedy.min_structuredness(cov) - 0.01 - 1e-9
+
+    def test_metadata_marks_result_as_heuristic(self, toy_persons_table):
+        refinement = GreedyRefiner(coverage_function()).refine_k(toy_persons_table, 2)
+        assert refinement.metadata["exact"] is False
+        assert refinement.metadata["strategy"] == "refine_k"
+
+
+class TestRefineThreshold:
+    def test_every_sort_meets_threshold_when_achievable(self, toy_persons_table):
+        cov = coverage_function()
+        refinement = GreedyRefiner(cov).refine_threshold(toy_persons_table, 0.9)
+        assert refinement.min_structuredness(cov) >= 0.9 - 1e-9
+
+    def test_threshold_zero_collapses_to_one_sort(self, toy_persons_table):
+        refinement = GreedyRefiner(coverage_function()).refine_threshold(toy_persons_table, 0.0)
+        assert refinement.k == 1
+
+    def test_threshold_one_with_similarity(self, toy_persons_table):
+        sim = similarity_function()
+        refinement = GreedyRefiner(sim).refine_threshold(toy_persons_table, 1.0)
+        assert refinement.min_structuredness(sim) == pytest.approx(1.0)
+
+    def test_invalid_threshold_raises(self, toy_persons_table):
+        with pytest.raises(RefinementError):
+            GreedyRefiner(coverage_function()).refine_threshold(toy_persons_table, 1.5)
+
+    def test_greedy_k_is_an_upper_bound_for_the_exact_lowest_k(self, toy_persons_table):
+        from repro.core.search import lowest_k_refinement
+
+        cov = coverage_function()
+        greedy = GreedyRefiner(cov).refine_threshold(toy_persons_table, 0.9)
+        exact = lowest_k_refinement(toy_persons_table, coverage(), theta=0.9)
+        assert exact.k <= greedy.k

@@ -1,0 +1,132 @@
+"""Unit tests for the ILP modelling layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import ILPError
+from repro.ilp.model import MAXIMIZE, MINIMIZE, Constraint, LinExpr, Model, Variable
+
+
+class TestVariablesAndExpressions:
+    def test_variable_bounds_validation(self):
+        with pytest.raises(ILPError):
+            Variable("x", lower=2, upper=1)
+
+    def test_expression_arithmetic(self):
+        x = Variable("x", index=0)
+        y = Variable("y", index=1)
+        expr = 2 * x + y - 3
+        assert expr.coefficients[x] == 2
+        assert expr.coefficients[y] == 1
+        assert expr.constant == -3
+
+    def test_expression_sum_and_negation(self):
+        x, y = Variable("x", index=0), Variable("y", index=1)
+        expr = LinExpr.sum([x, y, 5])
+        assert expr.constant == 5
+        assert (-expr).coefficients[x] == -1
+
+    def test_subtraction_orders(self):
+        x = Variable("x", index=0)
+        left = 10 - (2 * x)
+        assert left.constant == 10 and left.coefficients[x] == -2
+
+    def test_expression_value(self):
+        x, y = Variable("x", index=0), Variable("y", index=1)
+        expr = 2 * x + 3 * y + 1
+        assert expr.value({x: 2, y: 1}) == 8
+
+    def test_multiplying_by_expression_raises(self):
+        x = Variable("x", index=0)
+        with pytest.raises(ILPError):
+            (x + 1) * (x + 1)  # type: ignore[operator]
+
+    def test_invalid_term_raises(self):
+        with pytest.raises(ILPError):
+            LinExpr._coerce("not a term")  # type: ignore[arg-type]
+
+
+class TestConstraints:
+    def test_le_and_ge_builders(self):
+        x = Variable("x", index=0)
+        le = (x + 1) <= 5
+        ge = (2 * x) >= 3
+        assert le.upper == 0 and math.isinf(le.lower)
+        assert ge.lower == 0 and math.isinf(ge.upper)
+
+    def test_normalised_moves_constant_into_bounds(self):
+        x = Variable("x", index=0)
+        constraint = (x + 1) <= 5
+        coefficients, lower, upper = constraint.normalised()
+        assert coefficients == {x: 1.0}
+        assert upper == 4.0
+
+    def test_satisfied_by(self):
+        x = Variable("x", index=0)
+        constraint = (x * 2) <= 4
+        assert constraint.satisfied_by({x: 2})
+        assert not constraint.satisfied_by({x: 3})
+
+    def test_empty_bounds_raise(self):
+        x = Variable("x", index=0)
+        with pytest.raises(ILPError):
+            Constraint(LinExpr({x: 1.0}), lower=2, upper=1)
+
+
+class TestModel:
+    def test_add_variables_and_statistics(self):
+        model = Model("test")
+        x = model.add_binary("x")
+        y = model.add_integer("y", 0, 10)
+        z = model.add_variable("z", 0.0, 1.5)
+        model.add_constraint(x + y + z <= 5)
+        stats = model.statistics()
+        assert stats["variables"] == 3
+        assert stats["integer_variables"] == 2
+        assert stats["constraints"] == 1
+        assert stats["nonzeros"] == 3
+
+    def test_objective_sense_validation(self):
+        model = Model()
+        x = model.add_binary("x")
+        with pytest.raises(ILPError):
+            model.set_objective(x, sense="flatten")
+
+    def test_constraint_rejects_foreign_objects(self):
+        model = Model()
+        expr = LinExpr({"not a variable": 1.0})  # type: ignore[dict-item]
+        with pytest.raises(ILPError):
+            model.add_constraint(Constraint(expr, upper=1))
+
+    def test_check_solution_checks_bounds_integrality_and_constraints(self):
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_variable("y", 0, 2)
+        model.add_constraint(x + y <= 2)
+        assert model.check_solution({x: 1, y: 1})
+        assert not model.check_solution({x: 0.5, y: 1})  # fractional binary
+        assert not model.check_solution({x: 1, y: 3})  # bound violated
+        assert not model.check_solution({x: 1, y: 1.5} | {x: 1, y: 1.6})  # constraint violated
+
+    def test_to_arrays_sparse_and_dense(self):
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_variable("y", 0, 4)
+        model.add_constraint(2 * x + y <= 4)
+        model.add_constraint(Constraint(LinExpr({x: 1.0}), lower=1, upper=1))
+        model.set_objective(x + y, sense=MAXIMIZE)
+        arrays = model.to_arrays()
+        assert sparse.issparse(arrays["A"])
+        dense = model.to_arrays(sparse=False)
+        assert isinstance(dense["A"], np.ndarray)
+        assert dense["A"].shape == (2, 2)
+        # maximisation is translated to minimisation of the negated objective
+        assert list(arrays["c"]) == [-1.0, -1.0]
+        assert list(arrays["integrality"]) == [1, 0]
+        assert arrays["cu"][0] == 4.0
+        assert arrays["cl"][1] == 1.0 and arrays["cu"][1] == 1.0

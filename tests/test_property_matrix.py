@@ -1,0 +1,136 @@
+"""Unit tests for the property-structure view M(D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RDFError
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import EX, RDF
+
+
+class TestConstruction:
+    def test_from_graph_excludes_type_by_default(self, tiny_graph):
+        matrix = PropertyMatrix.from_graph(tiny_graph)
+        assert RDF.type not in matrix.properties
+        assert set(matrix.subjects) == tiny_graph.subjects()
+
+    def test_from_graph_can_keep_type(self, tiny_graph):
+        matrix = PropertyMatrix.from_graph(tiny_graph, exclude_type=False)
+        assert RDF.type in matrix.properties
+
+    def test_from_graph_with_explicit_property_order(self, tiny_graph):
+        matrix = PropertyMatrix.from_graph(tiny_graph, properties=[EX.age, EX.name])
+        assert matrix.properties == (EX.age, EX.name)
+
+    def test_cells_reflect_has_property(self, tiny_graph):
+        matrix = PropertyMatrix.from_graph(tiny_graph)
+        assert matrix.cell(EX.alice, EX.age) == 1
+        assert matrix.cell(EX.bob, EX.age) == 0
+
+    def test_from_rows(self, tracked_matrix):
+        assert tracked_matrix.shape == (6, 3)
+        assert tracked_matrix.cell(EX.a1, EX.q) == 1
+        assert tracked_matrix.cell(EX.b1, EX.q) == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(RDFError):
+            PropertyMatrix(np.ones((2, 2), dtype=bool), [EX.s], [EX.p, EX.q])
+
+    def test_duplicate_labels_raise(self):
+        with pytest.raises(RDFError):
+            PropertyMatrix(np.ones((2, 1), dtype=bool), [EX.s, EX.s], [EX.p])
+
+    def test_one_dimensional_data_raises(self):
+        with pytest.raises(RDFError):
+            PropertyMatrix(np.ones(3, dtype=bool), [EX.s], [EX.p, EX.q, EX.r])
+
+
+class TestAccessors:
+    def test_counting_properties(self, paper_d2_matrix):
+        assert paper_d2_matrix.n_subjects == 5
+        assert paper_d2_matrix.n_properties == 2
+        assert paper_d2_matrix.n_cells == 10
+        assert paper_d2_matrix.n_ones == 6
+
+    def test_property_counts(self, paper_d2_matrix):
+        counts = paper_d2_matrix.property_counts()
+        assert counts[EX.p] == 5
+        assert counts[EX.q] == 1
+
+    def test_row_and_column(self, paper_d2_matrix):
+        assert paper_d2_matrix.row(EX.s0).tolist() == [True, True]
+        assert paper_d2_matrix.column(EX.q).sum() == 1
+
+    def test_unknown_labels_raise(self, paper_d2_matrix):
+        with pytest.raises(RDFError):
+            paper_d2_matrix.subject_index(EX.unknown)
+        with pytest.raises(RDFError):
+            paper_d2_matrix.property_index(EX.unknown)
+
+    def test_has_subject_and_property_column(self, paper_d2_matrix):
+        assert paper_d2_matrix.has_subject(EX.s0)
+        assert not paper_d2_matrix.has_subject(EX.unknown)
+        assert paper_d2_matrix.has_property_column(EX.q)
+        assert not paper_d2_matrix.has_property_column(EX.unknown)
+
+    def test_data_view_is_read_only(self, paper_d2_matrix):
+        with pytest.raises(ValueError):
+            paper_d2_matrix.data[0, 0] = False
+
+    def test_properties_of(self, paper_d2_matrix):
+        assert paper_d2_matrix.properties_of(EX.s0) == (EX.p, EX.q)
+        assert paper_d2_matrix.properties_of(EX.s1) == (EX.p,)
+
+
+class TestSelections:
+    def test_select_subjects_keeps_all_columns(self, paper_d2_matrix):
+        sub = paper_d2_matrix.select_subjects([EX.s1, EX.s2])
+        assert sub.shape == (2, 2)
+        assert sub.properties == paper_d2_matrix.properties
+
+    def test_select_subjects_preserves_requested_order(self, paper_d2_matrix):
+        sub = paper_d2_matrix.select_subjects([EX.s2, EX.s1])
+        assert sub.subjects == (EX.s2, EX.s1)
+
+    def test_select_properties(self, paper_d2_matrix):
+        sub = paper_d2_matrix.select_properties([EX.q])
+        assert sub.shape == (5, 1)
+        assert sub.n_ones == 1
+
+    def test_drop_properties(self, paper_d2_matrix):
+        sub = paper_d2_matrix.drop_properties([EX.q])
+        assert sub.properties == (EX.p,)
+
+    def test_used_and_trim_unused_properties(self, paper_d2_matrix):
+        sub = paper_d2_matrix.select_subjects([EX.s1, EX.s2])
+        assert sub.used_properties() == (EX.p,)
+        assert sub.trim_unused_properties().properties == (EX.p,)
+
+    def test_empty_selection(self, paper_d2_matrix):
+        sub = paper_d2_matrix.select_subjects([])
+        assert sub.shape == (0, 2)
+
+
+class TestConversions:
+    def test_signature_of(self, paper_d2_matrix):
+        assert paper_d2_matrix.signature_of(EX.s0) == frozenset({EX.p, EX.q})
+        assert paper_d2_matrix.signature_of(EX.s1) == frozenset({EX.p})
+
+    def test_coverage_shortcut_matches_definition(self, paper_d2_matrix):
+        assert paper_d2_matrix.coverage() == pytest.approx(6 / 10)
+
+    def test_coverage_of_empty_matrix_is_one(self):
+        matrix = PropertyMatrix(np.zeros((0, 0), dtype=bool), [], [])
+        assert matrix.coverage() == 1.0
+
+    def test_to_graph_round_trips_structure(self, paper_d2_matrix):
+        graph = paper_d2_matrix.to_graph()
+        rebuilt = PropertyMatrix.from_graph(graph, properties=paper_d2_matrix.properties)
+        assert np.array_equal(rebuilt.data, paper_d2_matrix.data)
+
+    def test_equality(self, paper_d1_matrix, paper_d2_matrix):
+        assert paper_d1_matrix == paper_d1_matrix
+        assert paper_d1_matrix != paper_d2_matrix

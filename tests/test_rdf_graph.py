@@ -1,0 +1,172 @@
+"""Unit tests for the in-memory RDF graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RDFError
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import EX, RDF
+from repro.rdf.terms import Literal, Triple
+
+
+class TestMutation:
+    def test_add_returns_true_for_new_triple(self):
+        graph = RDFGraph()
+        assert graph.add(EX.s, EX.p, EX.o) is True
+        assert len(graph) == 1
+
+    def test_add_is_idempotent(self):
+        graph = RDFGraph()
+        graph.add(EX.s, EX.p, EX.o)
+        assert graph.add(EX.s, EX.p, EX.o) is False
+        assert len(graph) == 1
+
+    def test_add_accepts_triple_objects(self):
+        graph = RDFGraph()
+        graph.add(Triple.create(EX.s, EX.p, EX.o))
+        assert (EX.s, EX.p, EX.o) in graph
+
+    def test_add_accepts_plain_tuples(self):
+        graph = RDFGraph()
+        graph.add((EX.s, EX.p, EX.o))
+        assert len(graph) == 1
+
+    def test_add_rejects_single_non_triple_argument(self):
+        graph = RDFGraph()
+        with pytest.raises(RDFError):
+            graph.add("http://example.org/s")
+
+    def test_update_counts_new_triples_only(self):
+        graph = RDFGraph()
+        added = graph.update([(EX.s, EX.p, EX.o), (EX.s, EX.p, EX.o), (EX.s, EX.q, EX.o)])
+        assert added == 2
+
+    def test_remove_existing_triple(self):
+        graph = RDFGraph([(EX.s, EX.p, EX.o)])
+        assert graph.remove(EX.s, EX.p, EX.o) is True
+        assert len(graph) == 0
+        assert EX.s not in graph.subjects()
+
+    def test_remove_missing_triple(self):
+        graph = RDFGraph()
+        assert graph.remove(EX.s, EX.p, EX.o) is False
+
+    def test_remove_entity_drops_all_triples_of_subject(self, tiny_graph):
+        removed = tiny_graph.remove_entity(EX.alice)
+        assert removed == 3
+        assert EX.alice not in tiny_graph.subjects()
+
+    def test_clear(self, tiny_graph):
+        tiny_graph.clear()
+        assert len(tiny_graph) == 0
+        assert not tiny_graph
+
+
+class TestSetBehaviour:
+    def test_contains_handles_garbage(self, tiny_graph):
+        assert "not a triple" not in tiny_graph
+        assert (1, 2) not in tiny_graph
+
+    def test_iteration_yields_every_triple_once(self, tiny_graph):
+        triples = list(tiny_graph)
+        assert len(triples) == len(tiny_graph)
+        assert len(set(triples)) == len(triples)
+
+    def test_union(self):
+        g1 = RDFGraph([(EX.s, EX.p, EX.o)])
+        g2 = RDFGraph([(EX.s, EX.q, EX.o)])
+        union = g1 | g2
+        assert len(union) == 2
+        assert len(g1) == 1  # inputs untouched
+
+    def test_difference(self, tiny_graph):
+        alice_only = tiny_graph - RDFGraph([t for t in tiny_graph if t.subject != EX.alice])
+        assert all(t.subject == EX.alice for t in alice_only)
+
+    def test_intersection(self):
+        g1 = RDFGraph([(EX.s, EX.p, EX.o), (EX.s, EX.q, EX.o)])
+        g2 = RDFGraph([(EX.s, EX.p, EX.o)])
+        assert len(g1 & g2) == 1
+
+    def test_equality_ignores_insertion_order(self):
+        g1 = RDFGraph([(EX.s, EX.p, EX.o), (EX.s, EX.q, EX.o)])
+        g2 = RDFGraph([(EX.s, EX.q, EX.o), (EX.s, EX.p, EX.o)])
+        assert g1 == g2
+
+    def test_isdisjoint(self):
+        g1 = RDFGraph([(EX.s, EX.p, EX.o)])
+        g2 = RDFGraph([(EX.s, EX.q, EX.o)])
+        assert g1.isdisjoint(g2)
+        assert not g1.isdisjoint(g1)
+
+    def test_copy_is_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.add(EX.new, EX.p, EX.o)
+        assert len(clone) == len(tiny_graph) + 1
+
+
+class TestPatternMatching:
+    def test_triples_by_subject(self, tiny_graph):
+        assert len(list(tiny_graph.triples(subject=EX.alice))) == 3
+
+    def test_triples_by_predicate(self, tiny_graph):
+        assert len(list(tiny_graph.triples(predicate=EX.name))) == 3
+
+    def test_triples_by_object(self, tiny_graph):
+        assert len(list(tiny_graph.triples(obj=EX.Person))) == 2
+
+    def test_triples_by_subject_and_predicate(self, tiny_graph):
+        matches = list(tiny_graph.triples(subject=EX.alice, predicate=EX.name))
+        assert len(matches) == 1
+        assert matches[0].object == Literal("Alice")
+
+    def test_full_wildcard(self, tiny_graph):
+        assert len(list(tiny_graph.triples())) == len(tiny_graph)
+
+    def test_objects_and_value(self, tiny_graph):
+        assert tiny_graph.objects(EX.alice, EX.name) == {Literal("Alice")}
+        assert tiny_graph.value(EX.alice, EX.name) == Literal("Alice")
+        assert tiny_graph.value(EX.alice, EX.unknown) is None
+
+
+class TestSchemaAccessors:
+    def test_subjects(self, tiny_graph):
+        assert tiny_graph.subjects() == {EX.alice, EX.bob, EX.city}
+
+    def test_properties_with_and_without_type(self, tiny_graph):
+        assert RDF.type in tiny_graph.properties()
+        assert RDF.type not in tiny_graph.properties(exclude_type=True)
+
+    def test_has_property(self, tiny_graph):
+        assert tiny_graph.has_property(EX.alice, EX.age)
+        assert not tiny_graph.has_property(EX.bob, EX.age)
+
+    def test_properties_of(self, tiny_graph):
+        assert tiny_graph.properties_of(EX.bob, exclude_type=True) == {EX.name}
+
+    def test_subjects_with_property(self, tiny_graph):
+        assert tiny_graph.subjects_with_property(EX.age) == {EX.alice}
+
+    def test_all_sorts_and_sorts_of(self, tiny_graph):
+        assert tiny_graph.all_sorts() == {EX.Person}
+        assert tiny_graph.sorts_of(EX.alice) == {EX.Person}
+        assert tiny_graph.sorts_of(EX.city) == set()
+
+    def test_sort_subgraph_keeps_whole_entities(self, tiny_graph):
+        persons = tiny_graph.sort_subgraph(EX.Person)
+        assert persons.subjects() == {EX.alice, EX.bob}
+        # the city triple is absent, all alice/bob triples are present
+        assert len(persons) == 5
+
+    def test_entity_subgraph(self, tiny_graph):
+        sub = tiny_graph.entity_subgraph([EX.alice])
+        assert sub.subjects() == {EX.alice}
+        assert len(sub) == 3
+
+    def test_describe_reports_counts(self, tiny_graph):
+        stats = tiny_graph.describe()
+        assert stats["triples"] == len(tiny_graph)
+        assert stats["subjects"] == 3
+        assert stats["sorts"] == 1
+        assert stats["properties_excluding_type"] == 2

@@ -1,0 +1,89 @@
+"""Unit tests for the N-Triples reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import EX
+from repro.rdf.ntriples import (
+    dump_ntriples,
+    dumps_ntriples,
+    load_ntriples,
+    parse_ntriples,
+)
+from repro.rdf.terms import Literal, Triple, URI
+
+
+class TestParsing:
+    def test_parses_uri_object(self):
+        graph = parse_ntriples("<http://e/s> <http://e/p> <http://e/o> .")
+        assert (URI("http://e/s"), URI("http://e/p"), URI("http://e/o")) in graph
+
+    def test_parses_literal_object(self):
+        graph = parse_ntriples('<http://e/s> <http://e/p> "hello world" .')
+        assert graph.value("http://e/s", "http://e/p") == Literal("hello world")
+
+    def test_parses_escapes_in_literal(self):
+        graph = parse_ntriples('<http://e/s> <http://e/p> "line1\\nline2 \\"x\\"" .')
+        assert graph.value("http://e/s", "http://e/p") == Literal('line1\nline2 "x"')
+
+    def test_ignores_comments_and_blank_lines(self):
+        text = "\n# a comment\n<http://e/s> <http://e/p> <http://e/o> .\n\n"
+        assert len(parse_ntriples(text)) == 1
+
+    def test_ignores_datatype_suffix(self):
+        graph = parse_ntriples(
+            '<http://e/s> <http://e/p> "42"^^<http://www.w3.org/2001/XMLSchema#int> .'
+        )
+        assert graph.value("http://e/s", "http://e/p") == Literal("42")
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples("<http://e/s> <http://e/p> <http://e/o>")
+
+    def test_unterminated_uri_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples("<http://e/s <http://e/p> <http://e/o> .")
+
+    def test_unterminated_literal_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples('<http://e/s> <http://e/p> "oops .')
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples('<http://e/s> <http://e/p> "\\q" .')
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples("<http://e/s> <http://e/p> <http://e/o> . extra")
+
+    def test_error_reports_line_number(self):
+        text = "<http://e/s> <http://e/p> <http://e/o> .\nbroken line\n"
+        with pytest.raises(ParseError) as excinfo:
+            parse_ntriples(text)
+        assert excinfo.value.line == 2
+
+
+class TestSerialisation:
+    def test_round_trip(self, tiny_graph):
+        text = dumps_ntriples(tiny_graph)
+        assert parse_ntriples(text) == tiny_graph
+
+    def test_output_is_sorted_and_deterministic(self, tiny_graph):
+        assert dumps_ntriples(tiny_graph) == dumps_ntriples(RDFGraph(reversed(list(tiny_graph))))
+
+    def test_empty_input_gives_empty_string(self):
+        assert dumps_ntriples([]) == ""
+
+    def test_file_round_trip(self, tmp_path, tiny_graph):
+        path = tmp_path / "graph.nt"
+        lines = dump_ntriples(tiny_graph, path)
+        assert lines == len(tiny_graph)
+        assert load_ntriples(path) == tiny_graph
+
+    def test_load_sets_graph_name_from_filename(self, tmp_path):
+        path = tmp_path / "people.nt"
+        dump_ntriples([Triple.create(EX.s, EX.p, EX.o)], path)
+        assert load_ntriples(path).name == "people"

@@ -1,0 +1,70 @@
+"""Unit tests for sort (type) extraction."""
+
+from __future__ import annotations
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import EX, RDF
+from repro.rdf.sorts import extract_all_sorts, extract_sort, type_triple_count, untyped_subjects
+
+
+def make_two_sort_graph() -> RDFGraph:
+    graph = RDFGraph(name="two sorts")
+    for i in range(3):
+        person = EX[f"person{i}"]
+        graph.add(person, RDF.type, EX.Person)
+        graph.add(person, EX.name, f"p{i}")
+    for i in range(2):
+        city = EX[f"city{i}"]
+        graph.add(city, RDF.type, EX.City)
+        graph.add(city, EX.population, str(i))
+    graph.add(EX.loner, EX.name, "no type")
+    return graph
+
+
+class TestExtractSort:
+    def test_extracts_subjects_of_the_sort(self):
+        graph = make_two_sort_graph()
+        sort = extract_sort(graph, EX.Person)
+        assert sort.size == 3
+        assert sort.uri == EX.Person
+
+    def test_type_triples_removed_by_default(self):
+        graph = make_two_sort_graph()
+        sort = extract_sort(graph, EX.Person)
+        assert RDF.type not in sort.graph.properties()
+        assert sort.properties == {EX.name}
+
+    def test_type_triples_kept_on_request(self):
+        graph = make_two_sort_graph()
+        sort = extract_sort(graph, EX.Person, include_type_triples=True)
+        assert RDF.type in sort.graph.properties()
+
+    def test_unknown_sort_is_empty(self):
+        graph = make_two_sort_graph()
+        sort = extract_sort(graph, EX.Unknown)
+        assert sort.size == 0
+        assert len(sort.graph) == 0
+
+
+class TestExtractAllSorts:
+    def test_orders_by_decreasing_size(self):
+        sorts = extract_all_sorts(make_two_sort_graph())
+        assert [s.uri for s in sorts] == [EX.Person, EX.City]
+
+    def test_min_subjects_filter(self):
+        sorts = extract_all_sorts(make_two_sort_graph(), min_subjects=3)
+        assert [s.uri for s in sorts] == [EX.Person]
+
+    def test_limit(self):
+        sorts = extract_all_sorts(make_two_sort_graph(), limit=1)
+        assert len(sorts) == 1
+
+
+class TestHelpers:
+    def test_untyped_subjects(self):
+        assert untyped_subjects(make_two_sort_graph()) == {EX.loner}
+
+    def test_type_triple_count(self):
+        counts = type_triple_count(make_two_sort_graph())
+        assert counts[EX.Person] == 3
+        assert counts[EX.City] == 2

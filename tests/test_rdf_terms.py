@@ -1,0 +1,91 @@
+"""Unit tests for RDF terms (URIs, literals, triples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RDFError
+from repro.rdf.terms import Literal, Triple, URI, coerce_object, coerce_uri
+
+
+class TestURI:
+    def test_behaves_like_its_string(self):
+        uri = URI("http://example.org/name")
+        assert uri == "http://example.org/name"
+        assert str(uri) == "http://example.org/name"
+
+    def test_rejects_empty_value(self):
+        with pytest.raises(RDFError):
+            URI("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(RDFError):
+            URI(42)  # type: ignore[arg-type]
+
+    def test_n3_serialisation(self):
+        assert URI("http://example.org/x").n3() == "<http://example.org/x>"
+
+    def test_local_name_after_hash(self):
+        assert URI("http://example.org/ns#type").local_name == "type"
+
+    def test_local_name_after_slash(self):
+        assert URI("http://example.org/ontology/birthDate").local_name == "birthDate"
+
+    def test_local_name_without_separator(self):
+        assert URI("urn:isbn:12345").local_name == "urn:isbn:12345"
+
+
+class TestLiteral:
+    def test_not_equal_to_uri_with_same_characters(self):
+        assert Literal("http://example.org/x") != URI("http://example.org/x")
+        assert URI("http://example.org/x") != Literal("http://example.org/x")
+
+    def test_equal_to_same_literal(self):
+        assert Literal("abc") == Literal("abc")
+
+    def test_coerces_non_string_values(self):
+        assert Literal(42) == Literal("42")
+
+    def test_n3_escapes_quotes_and_newlines(self):
+        assert Literal('say "hi"\n').n3() == '"say \\"hi\\"\\n"'
+
+    def test_hash_differs_from_plain_string_bucket(self):
+        # Not a strict requirement, but Literal should be usable in sets next to URIs.
+        values = {Literal("x"), URI("x")}
+        assert len(values) == 2
+
+
+class TestTriple:
+    def test_create_coerces_strings(self):
+        triple = Triple.create("http://example.org/s", "http://example.org/p", "http://example.org/o")
+        assert isinstance(triple.subject, URI)
+        assert isinstance(triple.predicate, URI)
+        assert isinstance(triple.object, URI)
+
+    def test_n3_line(self):
+        triple = Triple(URI("http://e/s"), URI("http://e/p"), Literal("v"))
+        assert triple.n3() == '<http://e/s> <http://e/p> "v" .'
+
+    def test_is_a_tuple(self):
+        triple = Triple.create("http://e/s", "http://e/p", "http://e/o")
+        s, p, o = triple
+        assert (s, p, o) == (triple.subject, triple.predicate, triple.object)
+
+
+class TestCoercions:
+    def test_coerce_uri_rejects_literal(self):
+        with pytest.raises(RDFError):
+            coerce_uri(Literal("x"))
+
+    def test_coerce_uri_rejects_numbers(self):
+        with pytest.raises(RDFError):
+            coerce_uri(3.2)
+
+    def test_coerce_object_passes_through_terms(self):
+        lit = Literal("x")
+        uri = URI("http://e/x")
+        assert coerce_object(lit) is lit
+        assert coerce_object(uri) is uri
+
+    def test_coerce_object_turns_numbers_into_literals(self):
+        assert coerce_object(7) == Literal("7")

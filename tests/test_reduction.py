@@ -1,0 +1,176 @@
+"""Tests for the 3-coloring NP-hardness construction (Appendix A)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RefinementError
+from repro.matrix.signatures import SignatureTable
+from repro.reduction.three_coloring import (
+    IDP,
+    SP1,
+    SP2,
+    build_reduction_matrix,
+    build_reduction_table,
+    coloring_to_partition,
+    find_three_coloring,
+    is_three_colorable,
+    partition_to_coloring,
+    reduction_rule,
+    verify_coloring_gives_threshold_one,
+)
+
+
+class TestMatrixConstruction:
+    def test_shape_is_4n_by_2n_plus_3(self):
+        for n in (1, 3, 5):
+            graph = nx.path_graph(n)
+            matrix = build_reduction_matrix(graph)
+            assert matrix.shape == (4 * n, 2 * n + 3)
+
+    def test_special_columns_are_present(self):
+        matrix = build_reduction_matrix(nx.path_graph(3))
+        assert SP1 in matrix.properties
+        assert SP2 in matrix.properties
+        assert IDP in matrix.properties
+
+    def test_every_row_is_its_own_signature(self):
+        graph = nx.cycle_graph(4)
+        table = build_reduction_table(graph)
+        assert table.n_signatures == 4 * graph.number_of_nodes()
+        assert all(table.count(signature) == 1 for signature in table.signatures)
+
+    def test_lower_right_block_is_complemented_adjacency(self):
+        graph = nx.Graph([(0, 1)])
+        graph.add_node(2)
+        matrix = build_reduction_matrix(graph)
+        n = 3
+        # node rows are the last n rows; right column set the last n columns
+        right = matrix.data[3 * n :, 3 + n :]
+        expected = ~nx.to_numpy_array(graph, nodelist=sorted(graph.nodes()), dtype=bool)
+        assert (right == expected).all()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(RefinementError):
+            build_reduction_matrix(nx.Graph())
+
+    def test_self_loops_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        with pytest.raises(RefinementError):
+            build_reduction_matrix(graph)
+
+
+class TestRuleR0:
+    def test_rule_has_eleven_variables(self):
+        assert reduction_rule().arity == 11
+
+    def test_rule_uses_no_subject_constants(self):
+        assert not reduction_rule().uses_subject_constants()
+
+    def test_rule_round_trips_through_text(self):
+        from repro.rules.parser import parse_rule
+
+        rule = reduction_rule()
+        reparsed = parse_rule(rule.to_text())
+        assert reparsed.antecedent == rule.antecedent
+        assert reparsed.consequent == rule.consequent
+
+
+class TestColoringCorrespondence:
+    def test_coloring_to_partition_and_back(self):
+        graph = nx.cycle_graph(5)
+        coloring = find_three_coloring(graph)
+        parts = coloring_to_partition(graph, coloring)
+        assert len(parts) == 3
+        assert partition_to_coloring(graph, parts) == coloring
+
+    def test_partition_covers_all_rows(self):
+        graph = nx.path_graph(4)
+        coloring = find_three_coloring(graph)
+        parts = coloring_to_partition(graph, coloring)
+        total_rows = sum(len(part) for part in parts)
+        assert total_rows == 4 * graph.number_of_nodes()
+
+    def test_bad_color_values_rejected(self):
+        graph = nx.path_graph(2)
+        with pytest.raises(RefinementError):
+            coloring_to_partition(graph, {0: 0, 1: 5})
+
+    def test_partition_missing_nodes_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(RefinementError):
+            partition_to_coloring(graph, [[], [], []])
+
+
+class TestThreeColorability:
+    def test_known_3_colorable_graphs(self):
+        assert is_three_colorable(nx.path_graph(5))
+        assert is_three_colorable(nx.cycle_graph(5))
+        assert is_three_colorable(nx.complete_graph(3))
+        assert is_three_colorable(nx.petersen_graph())
+
+    def test_known_non_3_colorable_graphs(self):
+        assert not is_three_colorable(nx.complete_graph(4))
+        assert not is_three_colorable(nx.wheel_graph(6))  # odd outer cycle + hub
+
+    def test_found_coloring_is_proper(self):
+        graph = nx.petersen_graph()
+        coloring = find_three_coloring(graph)
+        assert all(coloring[u] != coloring[v] for u, v in graph.edges())
+
+
+class TestForwardDirection:
+    """Proper colorings induce refinements with threshold 1 (Appendix A.2.1)."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [nx.path_graph(3), nx.complete_graph(3), nx.cycle_graph(4), nx.complete_bipartite_graph(2, 2)],
+        ids=["P3", "K3", "C4", "K22"],
+    )
+    def test_proper_coloring_reaches_threshold_one(self, graph):
+        coloring = find_three_coloring(graph)
+        sigmas = verify_coloring_gives_threshold_one(graph, coloring)
+        assert all(value == pytest.approx(1.0) for value in sigmas)
+
+    def test_improper_coloring_fails_the_threshold(self):
+        triangle = nx.complete_graph(3)
+        improper = {0: 0, 1: 0, 2: 1}  # nodes 0 and 1 are adjacent but share a color
+        sigmas = verify_coloring_gives_threshold_one(triangle, improper)
+        assert min(sigmas) < 1.0
+
+    def test_duplicated_auxiliary_rows_fail_the_threshold(self):
+        """Putting two auxiliary blocks in one part breaks the val(z) = 0 conjunct."""
+        from repro.rules.evaluator import RuleEvaluator
+
+        graph = nx.path_graph(3)
+        matrix = build_reduction_matrix(graph)
+        coloring = find_three_coloring(graph)
+        parts = coloring_to_partition(graph, coloring)
+        merged = parts[0] + parts[1]
+        value = RuleEvaluator(matrix.select_subjects(merged)).sigma(reduction_rule())
+        assert value < 1.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    edges=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)),
+        max_size=6,
+    ),
+)
+def test_random_small_graphs_respect_the_forward_direction(n, edges):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u, v in edges:
+        if u != v and u < n and v < n:
+            graph.add_edge(u, v)
+    coloring = find_three_coloring(graph)
+    if coloring is None:
+        return  # nothing to verify: the forward direction needs a proper coloring
+    sigmas = verify_coloring_gives_threshold_one(graph, coloring)
+    assert all(value == pytest.approx(1.0) for value in sigmas)

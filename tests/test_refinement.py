@@ -1,0 +1,183 @@
+"""Tests for sort refinements (entity-preserving partitions closed under signatures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.refinement import ImplicitSort, SortRefinement, refinement_from_assignment
+from repro.exceptions import RefinementError
+from repro.functions import coverage_function
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import EX, RDF
+from repro.rdf.graph import RDFGraph
+
+
+ALIVE = frozenset([EX.name, EX.birthDate])
+BARE = frozenset([EX.name])
+DEAD = frozenset([EX.name, EX.birthDate, EX.deathDate])
+DEAD_DESC = frozenset([EX.name, EX.birthDate, EX.deathDate, EX.description])
+DESC_ONLY = frozenset([EX.name, EX.description])
+
+
+def alive_dead_assignment() -> dict:
+    return {ALIVE: 0, BARE: 0, DESC_ONLY: 0, DEAD: 1, DEAD_DESC: 1}
+
+
+class TestConstruction:
+    def test_refinement_from_assignment(self, toy_persons_table):
+        refinement = refinement_from_assignment(
+            toy_persons_table, alive_dead_assignment(), rule_name="Cov", threshold=0.8
+        )
+        assert refinement.k == 2
+        assert refinement.parent is toy_persons_table
+        assert sum(refinement.sizes) == toy_persons_table.n_subjects
+        assert refinement.rule_name == "Cov"
+
+    def test_sorts_ordered_by_decreasing_size(self, toy_persons_table):
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        assert refinement.sizes == tuple(sorted(refinement.sizes, reverse=True))
+
+    def test_empty_sorts_are_dropped(self, toy_persons_table):
+        assignment = {sig: 0 for sig in toy_persons_table.signatures}
+        refinement = refinement_from_assignment(toy_persons_table, assignment)
+        assert refinement.k == 1
+
+    def test_missing_signature_raises(self, toy_persons_table):
+        assignment = alive_dead_assignment()
+        del assignment[BARE]
+        with pytest.raises(RefinementError):
+            refinement_from_assignment(toy_persons_table, assignment)
+
+    def test_implicit_sort_properties_are_restricted_to_used_ones(self, toy_persons_table):
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        alive_sort = refinement.sort_of_signature(ALIVE)
+        assert EX.deathDate not in alive_sort.used_properties
+
+
+class TestValidation:
+    def test_valid_refinement_passes(self, toy_persons_table):
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        refinement.validate()
+        assert refinement.is_valid()
+
+    def test_duplicate_signature_detected(self, toy_persons_table):
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        duplicated = SortRefinement(
+            parent=toy_persons_table,
+            sorts=[refinement.sorts[0], refinement.sorts[0]],
+        )
+        assert not duplicated.is_valid()
+
+    def test_missing_signature_detected(self, toy_persons_table):
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        partial = SortRefinement(parent=toy_persons_table, sorts=[refinement.sorts[0]])
+        assert not partial.is_valid()
+
+    def test_foreign_signature_detected(self, toy_persons_table):
+        foreign_table = SignatureTable.from_counts([EX.other], {frozenset([EX.other]): 3})
+        foreign = refinement_from_assignment(foreign_table, {frozenset([EX.other]): 0})
+        broken = SortRefinement(parent=toy_persons_table, sorts=list(foreign.sorts))
+        assert not broken.is_valid()
+
+
+class TestStructuredness:
+    def test_per_sort_and_min_structuredness(self, toy_persons_table):
+        cov = coverage_function()
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        values = refinement.structuredness(cov)
+        assert len(values) == refinement.k
+        assert refinement.min_structuredness(cov) == min(values)
+        assert refinement.min_structuredness(cov) > coverage_function()(toy_persons_table)
+
+    def test_meets_threshold(self, toy_persons_table):
+        cov = coverage_function()
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        minimum = refinement.min_structuredness(cov)
+        assert refinement.meets_threshold(cov, minimum)
+        assert not refinement.meets_threshold(cov, minimum + 0.01)
+
+    def test_summary_mentions_every_sort(self, toy_persons_table):
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        text = refinement.summary(coverage_function())
+        assert text.count("sort ") == refinement.k
+        assert "sigma" in text
+
+
+class TestLookups:
+    def test_sort_of_signature(self, toy_persons_table):
+        refinement = refinement_from_assignment(toy_persons_table, alive_dead_assignment())
+        assert refinement.sort_of_signature(DEAD).index == refinement.sort_of_signature(DEAD_DESC).index
+        with pytest.raises(RefinementError):
+            refinement.sort_of_signature(frozenset([EX.deathDate]))
+
+    def test_assignment_round_trip(self, toy_persons_table):
+        original = alive_dead_assignment()
+        refinement = refinement_from_assignment(toy_persons_table, original)
+        recovered = refinement.assignment()
+        groups_original = {}
+        for sig, index in original.items():
+            groups_original.setdefault(index, set()).add(sig)
+        groups_recovered = {}
+        for sig, index in recovered.items():
+            groups_recovered.setdefault(index, set()).add(sig)
+        assert sorted(map(sorted, (map(str, g) for g in groups_original.values()))) == sorted(
+            map(sorted, (map(str, g) for g in groups_recovered.values()))
+        )
+
+
+class TestDataPartitioning:
+    def build_graph(self) -> RDFGraph:
+        graph = RDFGraph(name="people")
+        graph.add(EX.alice, EX.name, EX.v1)
+        graph.add(EX.alice, EX.birthDate, EX.v2)
+        graph.add(EX.bob, EX.name, EX.v3)
+        graph.add(EX.carol, EX.name, EX.v4)
+        graph.add(EX.carol, EX.birthDate, EX.v5)
+        graph.add(EX.carol, EX.deathDate, EX.v6)
+        return graph
+
+    def refinement_for_graph(self, graph: RDFGraph) -> SortRefinement:
+        table = SignatureTable.from_graph(graph)
+        assignment = {
+            frozenset([EX.name, EX.birthDate]): 0,
+            frozenset([EX.name]): 0,
+            frozenset([EX.name, EX.birthDate, EX.deathDate]): 1,
+        }
+        return refinement_from_assignment(table, assignment)
+
+    def test_partition_matrix_routes_rows_by_signature(self):
+        graph = self.build_graph()
+        refinement = self.refinement_for_graph(graph)
+        matrix = PropertyMatrix.from_graph(graph)
+        parts = refinement.partition_matrix(matrix)
+        assert sum(part.n_subjects for part in parts) == matrix.n_subjects
+        sizes = sorted(part.n_subjects for part in parts)
+        assert sizes == [1, 2]
+
+    def test_partition_graph_is_entity_preserving(self):
+        graph = self.build_graph()
+        refinement = self.refinement_for_graph(graph)
+        parts = refinement.partition_graph(graph)
+        # parts are disjoint, cover the graph, and never split an entity
+        assert sum(len(part) for part in parts) == len(graph)
+        for part in parts:
+            for subject in part.subjects():
+                assert part.properties_of(subject) == graph.properties_of(subject)
+
+    def test_partition_matrix_with_unknown_signature_raises(self):
+        graph = self.build_graph()
+        refinement = self.refinement_for_graph(graph)
+        graph.add(EX.dave, EX.unknownProp, EX.v7)
+        matrix = PropertyMatrix.from_graph(graph)
+        with pytest.raises(RefinementError):
+            refinement.partition_matrix(matrix)
+
+    def test_sort_of_subject_requires_member_tracking(self):
+        graph = self.build_graph()
+        table = SignatureTable.from_graph(graph)
+        refinement = refinement_from_assignment(
+            table,
+            {sig: 0 for sig in table.signatures},
+        )
+        assert refinement.sort_of_subject(EX.alice).index == 0

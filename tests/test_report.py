@@ -1,0 +1,113 @@
+"""Tests for reporting helpers: tables, metrics and figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matrix.horizontal import render_refinement, render_signature_table, signature_block_rows
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import EX
+from repro.report.metrics import ConfusionMatrix
+from repro.report.tables import format_float, format_mapping, format_table
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123456}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "10" in lines[3]
+        assert "0.123" in lines[3]
+
+    def test_missing_keys_render_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].index("b") < text.splitlines()[0].index("a")
+
+    def test_title(self):
+        assert format_table([{"a": 1}], title="My table").startswith("My table")
+
+    def test_format_float_handles_bools_and_strings(self):
+        assert format_float(True) == "True"
+        assert format_float("x") == "x"
+        assert format_float(0.123456, digits=2) == "0.12"
+
+    def test_format_mapping(self):
+        text = format_mapping({"alpha": 1, "beta": 0.5}, title="stats")
+        assert text.splitlines()[0] == "stats"
+        assert "alpha" in text and "0.500" in text
+
+
+class TestConfusionMatrix:
+    def test_basic_metrics(self):
+        matrix = ConfusionMatrix(tp=27, fp=17, fn=0, tn=23)
+        assert matrix.total == 67
+        assert matrix.accuracy == pytest.approx(50 / 67)
+        assert matrix.precision == pytest.approx(27 / 44)
+        assert matrix.recall == 1.0
+        assert 0 < matrix.f1 <= 1
+
+    def test_paper_values_from_section_7_4(self):
+        """The confusion matrix printed in Section 7.4 yields the reported metrics."""
+        matrix = ConfusionMatrix(tp=27, fp=17, fn=0, tn=23)
+        assert matrix.accuracy == pytest.approx(0.746, abs=0.001)
+        assert matrix.precision == pytest.approx(0.614, abs=0.001)
+        assert matrix.recall == pytest.approx(1.0)
+
+    def test_degenerate_cases(self):
+        empty = ConfusionMatrix(0, 0, 0, 0)
+        assert empty.accuracy == 1.0
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+        assert ConfusionMatrix(0, 0, 5, 5).f1 == 0.0
+
+    def test_addition(self):
+        total = ConfusionMatrix(1, 2, 3, 4) + ConfusionMatrix(10, 20, 30, 40)
+        assert (total.tp, total.fp, total.fn, total.tn) == (11, 22, 33, 44)
+
+    def test_as_dict_round_trip(self):
+        matrix = ConfusionMatrix(5, 1, 2, 9)
+        data = matrix.as_dict()
+        assert data["tp"] == 5 and data["accuracy"] == matrix.accuracy
+
+
+class TestHorizontalRendering:
+    def test_render_contains_one_block_per_signature(self, toy_persons_table):
+        text = render_signature_table(toy_persons_table, max_rows=10)
+        assert text.count("|") >= toy_persons_table.n_signatures  # one count marker per block
+        assert "subjects" in text
+
+    def test_blocks_scale_with_signature_sizes(self, toy_persons_table):
+        blocks = signature_block_rows(toy_persons_table, max_rows=20)
+        assert len(blocks) == toy_persons_table.n_signatures
+        sizes = [rows for _sig, rows in blocks]
+        assert sizes[0] >= sizes[-1]
+        assert all(rows >= 1 for rows in sizes)
+
+    def test_empty_table_renders(self):
+        table = SignatureTable.from_counts([EX.p], {})
+        text = render_signature_table(table)
+        assert "0 subjects" in text
+
+    def test_render_refinement_uses_parent_columns(self, toy_persons_table):
+        parts = [
+            toy_persons_table.select([frozenset([EX.name, EX.birthDate]), frozenset([EX.name])]),
+            toy_persons_table.select(
+                [
+                    frozenset([EX.name, EX.birthDate, EX.deathDate]),
+                    frozenset([EX.name, EX.birthDate, EX.deathDate, EX.description]),
+                    frozenset([EX.name, EX.description]),
+                ]
+            ),
+        ]
+        text = render_refinement(parts, parent_properties=toy_persons_table.properties, title="demo")
+        assert text.startswith("demo")
+        assert text.count("implicit sort") == 2
+
+    def test_custom_labels(self, toy_persons_table):
+        parts = [toy_persons_table]
+        text = render_refinement(parts, labels=["everything"])
+        assert "[everything]" in text

@@ -1,0 +1,163 @@
+"""Unit tests for the rule-language AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.rdf.namespaces import EX
+from repro.rules.ast import (
+    And,
+    Not,
+    Or,
+    PropIs,
+    Rule,
+    SubjIs,
+    ValIs,
+    Var,
+    VarEq,
+    conjunction,
+    disjunction,
+    prop_is,
+    same_prop,
+    same_subj,
+    same_val,
+    subj_is,
+    val_is,
+    var_eq,
+)
+
+
+class TestVariables:
+    def test_variables_with_same_name_are_equal(self):
+        assert Var("c") == Var("c")
+        assert Var("c") != Var("d")
+
+    def test_variables_are_hashable_and_ordered(self):
+        assert len({Var("a"), Var("a"), Var("b")}) == 2
+        assert sorted([Var("b"), Var("a")]) == [Var("a"), Var("b")]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(RuleError):
+            Var("")
+
+
+class TestAtoms:
+    def test_val_is_accepts_only_bits(self):
+        val_is(Var("c"), 0)
+        val_is(Var("c"), 1)
+        with pytest.raises(RuleError):
+            val_is(Var("c"), 2)
+
+    def test_atom_variables(self):
+        c1, c2 = Var("c1"), Var("c2")
+        assert val_is(c1, 1).variables() == {c1}
+        assert same_prop(c1, c2).variables() == {c1, c2}
+        assert prop_is(c1, EX.p).variables() == {c1}
+
+    def test_uri_constants_are_coerced(self):
+        atom = prop_is(Var("c"), str(EX.p))
+        assert atom.uri == EX.p
+        assert subj_is(Var("c"), str(EX.s)).uri == EX.s
+
+    def test_atoms_are_hashable_value_objects(self):
+        assert val_is(Var("c"), 1) == val_is(Var("c"), 1)
+        assert len({val_is(Var("c"), 1), val_is(Var("c"), 1)}) == 1
+
+
+class TestConnectives:
+    def test_and_flattens_nested_ands(self):
+        c = Var("c")
+        formula = And(And(val_is(c, 1), val_is(c, 0)), val_is(c, 1))
+        assert len(formula.operands) == 3
+        assert len(formula.conjuncts()) == 3
+
+    def test_or_flattens_nested_ors(self):
+        c = Var("c")
+        formula = Or(Or(val_is(c, 1), val_is(c, 0)), val_is(c, 1))
+        assert len(formula.disjuncts()) == 3
+
+    def test_nary_needs_two_operands(self):
+        with pytest.raises(RuleError):
+            And(val_is(Var("c"), 1))
+
+    def test_operator_sugar(self):
+        c1, c2 = Var("c1"), Var("c2")
+        formula = ~var_eq(c1, c2) & same_prop(c1, c2) & val_is(c1, 1)
+        assert isinstance(formula, And)
+        assert isinstance(formula.conjuncts()[0], Not)
+
+    def test_atoms_iteration(self):
+        c1, c2 = Var("c1"), Var("c2")
+        formula = (~var_eq(c1, c2)) & (val_is(c1, 1) | same_val(c1, c2))
+        atom_types = {type(atom).__name__ for atom in formula.atoms()}
+        assert atom_types == {"VarEq", "ValIs", "ValEq"}
+
+    def test_conjunction_and_disjunction_helpers(self):
+        c = Var("c")
+        assert conjunction(val_is(c, 1)) == val_is(c, 1)
+        assert isinstance(conjunction(val_is(c, 1), val_is(c, 0)), And)
+        assert isinstance(disjunction(val_is(c, 1), val_is(c, 0)), Or)
+        with pytest.raises(RuleError):
+            conjunction()
+
+    def test_and_equality_and_hash(self):
+        c = Var("c")
+        assert And(val_is(c, 1), val_is(c, 0)) == And(val_is(c, 1), val_is(c, 0))
+        assert And(val_is(c, 1), val_is(c, 0)) != Or(val_is(c, 1), val_is(c, 0))
+        assert hash(And(val_is(c, 1), val_is(c, 0))) == hash(And(val_is(c, 1), val_is(c, 0)))
+
+
+class TestRules:
+    def test_rule_requires_consequent_variables_bound(self):
+        c1, c2 = Var("c1"), Var("c2")
+        with pytest.raises(RuleError):
+            Rule(val_is(c1, 1), val_is(c2, 1))
+
+    def test_rshift_sugar_builds_rules(self):
+        c = Var("c")
+        rule = var_eq(c, c) >> val_is(c, 1)
+        assert isinstance(rule, Rule)
+        assert rule.arity == 1
+
+    def test_combined_is_the_conjunction(self):
+        c = Var("c")
+        rule = var_eq(c, c) >> val_is(c, 1)
+        assert rule.combined() == And(var_eq(c, c), val_is(c, 1))
+
+    def test_uses_subject_constants(self):
+        c = Var("c")
+        plain = var_eq(c, c) >> val_is(c, 1)
+        with_subject = (var_eq(c, c) & subj_is(c, EX.s)) >> val_is(c, 1)
+        assert not plain.uses_subject_constants()
+        assert with_subject.uses_subject_constants()
+
+    def test_with_name_and_str(self):
+        c = Var("c")
+        rule = (var_eq(c, c) >> val_is(c, 1)).with_name("Cov")
+        assert rule.name == "Cov"
+        assert str(rule) == "Cov"
+
+    def test_to_text_round_trip_through_parser(self):
+        from repro.rules.parser import parse_rule
+
+        c1, c2 = Var("c1"), Var("c2")
+        rule = (~var_eq(c1, c2) & same_prop(c1, c2) & val_is(c1, 1)) >> val_is(c2, 1)
+        assert parse_rule(rule.to_text()) == Rule(rule.antecedent, rule.consequent)
+
+
+class TestTextRendering:
+    def test_atom_text(self):
+        c = Var("c")
+        assert val_is(c, 1).to_text() == "val(c) = 1"
+        assert prop_is(c, EX.p).to_text() == f"prop(c) = <{EX.p}>"
+        assert same_subj(Var("a"), Var("b")).to_text() == "subj(a) = subj(b)"
+
+    def test_not_text(self):
+        c = Var("c")
+        assert Not(val_is(c, 1)).to_text() == "not (val(c) = 1)"
+
+    def test_mixed_connectives_are_parenthesised(self):
+        c = Var("c")
+        text = And(Or(val_is(c, 1), val_is(c, 0)), val_is(c, 1)).to_text()
+        assert text == "(val(c) = 1 or val(c) = 0) and val(c) = 1"

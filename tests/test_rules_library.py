@@ -1,0 +1,97 @@
+"""Tests for the built-in rule library and rule-to-function matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.functions import (
+    best_function_for_rule,
+    coverage as coverage_value,
+    matching_fast_function,
+    similarity as similarity_value,
+)
+from repro.rdf.namespaces import EX, RDF_SYNTAX_PROPERTIES
+from repro.rules import library
+from repro.rules.ast import Not, Or, PropIs, Var, val_is, var_eq
+
+
+class TestLibraryRules:
+    def test_rules_are_named(self):
+        assert library.coverage().name == "Cov"
+        assert library.similarity().name == "Sim"
+        assert "Dep" in library.dependency(EX.a, EX.b).name
+        assert "SymDep" in library.symmetric_dependency(EX.a, EX.b).name
+
+    def test_arities(self):
+        assert library.coverage().arity == 1
+        assert library.coverage_ignoring([EX.a]).arity == 1
+        assert library.similarity().arity == 2
+        assert library.dependency(EX.a, EX.b).arity == 2
+        assert library.symmetric_dependency(EX.a, EX.b).arity == 2
+        assert library.conditional_dependency(EX.a, EX.b).arity == 2
+
+    def test_coverage_ignoring_requires_properties(self):
+        with pytest.raises(RuleError):
+            library.coverage_ignoring([])
+
+    def test_coverage_ignoring_mentions_every_ignored_property(self):
+        rule = library.coverage_ignoring(RDF_SYNTAX_PROPERTIES)
+        ignored = {atom.uri for atom in rule.antecedent.atoms() if isinstance(atom, PropIs)}
+        assert ignored == set(RDF_SYNTAX_PROPERTIES)
+
+    def test_standard_rules_listing(self):
+        rules = library.standard_rules()
+        assert [rule.name for rule in rules] == list(library.STANDARD_RULES)
+
+    def test_disjunctive_consequent_variant(self):
+        rule = library.conditional_dependency(EX.a, EX.b)
+        assert isinstance(rule.consequent, Or)
+
+    def test_no_library_rule_uses_subject_constants(self):
+        rules = [
+            library.coverage(),
+            library.coverage_ignoring([EX.a]),
+            library.similarity(),
+            library.dependency(EX.a, EX.b),
+            library.symmetric_dependency(EX.a, EX.b),
+            library.conditional_dependency(EX.a, EX.b),
+        ]
+        assert not any(rule.uses_subject_constants() for rule in rules)
+
+
+class TestFastFunctionMatching:
+    def test_recognises_coverage_and_similarity(self):
+        assert matching_fast_function(library.coverage()).name == "Cov"
+        assert matching_fast_function(library.similarity()).name == "Sim"
+
+    def test_recognises_dependencies_with_their_constants(self, toy_persons_table):
+        rule = library.dependency(EX.deathDate, EX.description)
+        function = matching_fast_function(rule)
+        assert function is not None
+        from repro.functions import dependency
+
+        assert function(toy_persons_table) == dependency(
+            toy_persons_table, EX.deathDate, EX.description
+        )
+
+    def test_recognises_symmetric_dependency(self):
+        rule = library.symmetric_dependency(EX.a, EX.b)
+        assert "SymDep" in matching_fast_function(rule).name
+
+    def test_returns_none_for_custom_rules(self):
+        c = Var("c")
+        custom = (var_eq(c, c) & Not(val_is(c, 0))) >> val_is(c, 1)
+        assert matching_fast_function(custom) is None
+
+    def test_best_function_falls_back_to_signature_counting(self, toy_persons_table):
+        c = Var("c")
+        custom = var_eq(c, c) >> Not(val_is(c, 0))
+        function = best_function_for_rule(custom, name="custom")
+        assert function.name == "custom"
+        # this custom rule is semantically Cov (val != 0 means val = 1)
+        assert function(toy_persons_table) == pytest.approx(coverage_value(toy_persons_table))
+
+    def test_best_function_uses_closed_form_for_builtins(self, toy_persons_table):
+        function = best_function_for_rule(library.similarity())
+        assert function(toy_persons_table) == pytest.approx(similarity_value(toy_persons_table))

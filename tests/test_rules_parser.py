@@ -1,0 +1,154 @@
+"""Unit tests for the rule-language parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.rdf.namespaces import EX
+from repro.rules import library
+from repro.rules.ast import And, Not, Or, PropEq, PropIs, Rule, SubjEq, ValEq, ValIs, Var, VarEq
+from repro.rules.parser import parse_formula, parse_rule, tokenize
+
+
+class TestTokenizer:
+    def test_tokenizes_keywords_case_insensitively(self):
+        kinds = [token.kind for token in tokenize("VAL(c) = 1 AND not prop(c) = <http://e/p>")]
+        assert kinds == ["VAL", "LPAR", "IDENT", "RPAR", "EQ", "BIT", "AND", "NOT", "PROP",
+                         "LPAR", "IDENT", "RPAR", "EQ", "URI"]
+
+    def test_unicode_operators(self):
+        kinds = [token.kind for token in tokenize("¬ c1 = c2 ∧ val(c1) ≠ 0 ∨ c1 = c1")]
+        assert "NOT" in kinds and "AND" in kinds and "OR" in kinds and "NEQ" in kinds
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("val(c) = 1 %")
+
+
+class TestFormulaParsing:
+    def test_val_atom(self):
+        assert parse_formula("val(c) = 1") == ValIs(Var("c"), 1)
+
+    def test_reversed_atom_operands(self):
+        assert parse_formula("1 = val(c)") == ValIs(Var("c"), 1)
+
+    def test_prop_constant_atom(self):
+        assert parse_formula(f"prop(c) = <{EX.p}>") == PropIs(Var("c"), EX.p)
+
+    def test_prop_constant_with_quotes(self):
+        assert parse_formula(f'prop(c) = "{EX.p}"') == PropIs(Var("c"), EX.p)
+
+    def test_variable_equality(self):
+        assert parse_formula("c1 = c2") == VarEq(Var("c1"), Var("c2"))
+
+    def test_inequality_desugars_to_negation(self):
+        assert parse_formula("c1 != c2") == Not(VarEq(Var("c1"), Var("c2")))
+
+    def test_prop_and_subj_and_val_equalities(self):
+        assert parse_formula("prop(a) = prop(b)") == PropEq(Var("a"), Var("b"))
+        assert parse_formula("subj(a) = subj(b)") == SubjEq(Var("a"), Var("b"))
+        assert parse_formula("val(a) = val(b)") == ValEq(Var("a"), Var("b"))
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        formula = parse_formula("val(a) = 1 or val(a) = 0 and val(b) = 1")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.operands[1], And)
+
+    def test_parentheses_override_precedence(self):
+        formula = parse_formula("(val(a) = 1 or val(a) = 0) and val(b) = 1")
+        assert isinstance(formula, And)
+
+    def test_not_applies_to_next_conjunct_only(self):
+        formula = parse_formula("not val(a) = 1 and val(b) = 1")
+        assert isinstance(formula, And)
+        assert isinstance(formula.operands[0], Not)
+
+    def test_nested_parentheses(self):
+        formula = parse_formula("not (val(a) = 1 and (val(b) = 0 or a = b))")
+        assert isinstance(formula, Not)
+
+    def test_rejects_unsupported_comparison(self):
+        with pytest.raises(ParseError):
+            parse_formula("val(a) = prop(b)")
+
+    def test_rejects_bit_against_prop(self):
+        with pytest.raises(ParseError):
+            parse_formula("prop(a) = 1")
+
+    def test_rejects_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_formula("val(a) = 1 val(b) = 1")
+
+    def test_rejects_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_formula("(val(a) = 1")
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_formula("")
+
+
+class TestRuleParsing:
+    def test_simple_rule(self):
+        rule = parse_rule("c = c -> val(c) = 1")
+        assert isinstance(rule, Rule)
+        assert rule.arity == 1
+
+    def test_unicode_arrow(self):
+        assert parse_rule("c = c ↦ val(c) = 1") == parse_rule("c = c -> val(c) = 1")
+
+    def test_missing_arrow_raises(self):
+        with pytest.raises(ParseError):
+            parse_rule("c = c val(c) = 1")
+
+    def test_consequent_with_free_variable_raises(self):
+        from repro.exceptions import RuleError
+
+        with pytest.raises(RuleError):
+            parse_rule("val(a) = 1 -> val(b) = 1")
+
+    def test_parsed_cov_matches_library(self):
+        parsed = parse_rule("c = c -> val(c) = 1")
+        built = library.coverage()
+        assert parsed.antecedent == built.antecedent
+        assert parsed.consequent == built.consequent
+
+    def test_parsed_sim_matches_library(self):
+        parsed = parse_rule(
+            "not (c1 = c2) and prop(c1) = prop(c2) and val(c1) = 1 -> val(c2) = 1"
+        )
+        built = library.similarity()
+        assert parsed.antecedent == built.antecedent
+        assert parsed.consequent == built.consequent
+
+    def test_parsed_dependency_matches_library(self):
+        parsed = parse_rule(
+            f"subj(c1) = subj(c2) and prop(c1) = <{EX.p1}> and prop(c2) = <{EX.p2}> "
+            "and val(c1) = 1 -> val(c2) = 1"
+        )
+        built = library.dependency(EX.p1, EX.p2)
+        assert parsed.antecedent == built.antecedent
+        assert parsed.consequent == built.consequent
+
+    def test_parsed_symmetric_dependency_matches_library(self):
+        parsed = parse_rule(
+            f"subj(c1) = subj(c2) and prop(c1) = <{EX.p1}> and prop(c2) = <{EX.p2}> "
+            "and (val(c1) = 1 or val(c2) = 1) -> val(c1) = 1 and val(c2) = 1"
+        )
+        built = library.symmetric_dependency(EX.p1, EX.p2)
+        assert parsed.antecedent == built.antecedent
+        assert parsed.consequent == built.consequent
+
+    def test_round_trip_of_library_rules(self):
+        for rule in (
+            library.coverage(),
+            library.similarity(),
+            library.dependency(EX.a, EX.b),
+            library.symmetric_dependency(EX.a, EX.b),
+            library.conditional_dependency(EX.a, EX.b),
+            library.coverage_ignoring([EX.a, EX.b]),
+        ):
+            reparsed = parse_rule(rule.to_text())
+            assert reparsed.antecedent == rule.antecedent
+            assert reparsed.consequent == rule.consequent

@@ -1,0 +1,119 @@
+"""Unit tests for the naive reference semantics (Section 3.2)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.rdf.namespaces import EX
+from repro.rules import library
+from repro.rules.ast import Not, Or, Var, prop_is, same_prop, same_subj, same_val, subj_is, val_is, var_eq
+from repro.rules.semantics import (
+    count_satisfying_naive,
+    iter_satisfying_assignments,
+    satisfies,
+    sigma_naive,
+    sigma_naive_fraction,
+)
+
+
+class TestSatisfaction:
+    def test_val_atom(self, paper_d2_matrix):
+        c = Var("c")
+        # cell (s0, q) holds 1; cell (s1, q) holds 0
+        assert satisfies(paper_d2_matrix, {c: (0, 1)}, val_is(c, 1))
+        assert satisfies(paper_d2_matrix, {c: (1, 1)}, val_is(c, 0))
+
+    def test_subj_and_prop_constants(self, paper_d2_matrix):
+        c = Var("c")
+        rho = {c: (0, 1)}
+        assert satisfies(paper_d2_matrix, rho, subj_is(c, EX.s0))
+        assert not satisfies(paper_d2_matrix, rho, subj_is(c, EX.s1))
+        assert satisfies(paper_d2_matrix, rho, prop_is(c, EX.q))
+
+    def test_binary_atoms(self, paper_d2_matrix):
+        c1, c2 = Var("c1"), Var("c2")
+        rho = {c1: (0, 0), c2: (0, 1)}
+        assert satisfies(paper_d2_matrix, rho, same_subj(c1, c2))
+        assert not satisfies(paper_d2_matrix, rho, same_prop(c1, c2))
+        assert satisfies(paper_d2_matrix, rho, same_val(c1, c2))  # both cells are 1
+        assert not satisfies(paper_d2_matrix, rho, var_eq(c1, c2))
+        assert satisfies(paper_d2_matrix, rho, var_eq(c1, c1))
+
+    def test_connectives(self, paper_d2_matrix):
+        c = Var("c")
+        rho = {c: (1, 1)}  # a 0-cell
+        assert satisfies(paper_d2_matrix, rho, Not(val_is(c, 1)))
+        assert satisfies(paper_d2_matrix, rho, Or(val_is(c, 1), val_is(c, 0)))
+        assert not satisfies(paper_d2_matrix, rho, val_is(c, 1) & val_is(c, 0))
+
+    def test_unbound_variable_raises(self, paper_d2_matrix):
+        with pytest.raises(EvaluationError):
+            satisfies(paper_d2_matrix, {}, val_is(Var("c"), 1))
+
+
+class TestCountsAndSigma:
+    def test_total_cases_of_cov_is_number_of_cells(self, paper_d2_matrix):
+        rule = library.coverage()
+        assert count_satisfying_naive(paper_d2_matrix, rule.antecedent) == 10
+        assert count_satisfying_naive(paper_d2_matrix, rule.combined()) == 6
+
+    def test_iter_satisfying_assignments_domain(self, paper_d1_matrix):
+        rule = library.coverage()
+        assignments = list(iter_satisfying_assignments(paper_d1_matrix, rule.antecedent))
+        assert len(assignments) == 5
+        assert all(set(a) == {Var("c")} for a in assignments)
+
+    def test_sigma_of_empty_antecedent_is_one(self, paper_d1_matrix):
+        # Dep on properties absent from the matrix: no assignment satisfies the antecedent.
+        rule = library.dependency(EX.missing1, EX.missing2)
+        assert sigma_naive(rule, paper_d1_matrix) == 1.0
+
+    def test_sigma_fraction_is_exact(self, paper_d2_matrix):
+        value = sigma_naive_fraction(library.coverage(), paper_d2_matrix)
+        assert value == Fraction(6, 10)
+
+
+class TestPaperFigure1Examples:
+    """The worked examples of Section 2.2 (Figure 1), at N = 5."""
+
+    def test_cov_of_d1_is_one(self, paper_d1_matrix):
+        assert sigma_naive(library.coverage(), paper_d1_matrix) == 1.0
+
+    def test_cov_of_d2_is_about_a_half(self, paper_d2_matrix):
+        assert sigma_naive(library.coverage(), paper_d2_matrix) == pytest.approx(0.6)
+
+    def test_sim_of_d1_is_one(self, paper_d1_matrix):
+        assert sigma_naive(library.similarity(), paper_d1_matrix) == 1.0
+
+    def test_sim_of_d2_stays_close_to_one(self, paper_d2_matrix):
+        # total = 5*4 (for p) + 1*4 (for q) = 24, favourable = 20
+        assert sigma_naive_fraction(library.similarity(), paper_d2_matrix) == Fraction(20, 24)
+
+    def test_sim_of_d3_is_zero(self, paper_d3_matrix):
+        assert sigma_naive(library.similarity(), paper_d3_matrix) == 0.0
+
+    def test_cov_of_d3_is_small(self, paper_d3_matrix):
+        assert sigma_naive(library.coverage(), paper_d3_matrix) == pytest.approx(1 / 5)
+
+    def test_dependency_on_d2(self, paper_d2_matrix):
+        # every subject has p, only s0 has q
+        assert sigma_naive_fraction(library.dependency(EX.p, EX.q), paper_d2_matrix) == Fraction(1, 5)
+        assert sigma_naive(library.dependency(EX.q, EX.p), paper_d2_matrix) == 1.0
+
+    def test_symmetric_dependency_on_d2(self, paper_d2_matrix):
+        assert sigma_naive_fraction(
+            library.symmetric_dependency(EX.p, EX.q), paper_d2_matrix
+        ) == Fraction(1, 5)
+
+    def test_conditional_dependency_on_d2(self, paper_d2_matrix):
+        # favourable: subjects lacking p (none) or having q (one) -> 1/5
+        assert sigma_naive_fraction(
+            library.conditional_dependency(EX.p, EX.q), paper_d2_matrix
+        ) == Fraction(1, 5)
+
+    def test_coverage_ignoring_column(self, paper_d2_matrix):
+        rule = library.coverage_ignoring([EX.q])
+        assert sigma_naive(rule, paper_d2_matrix) == 1.0

@@ -1,0 +1,161 @@
+"""Unit tests for signatures and signature tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RDFError
+from repro.functions.structuredness import coverage, similarity
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.namespaces import EX
+
+
+class TestConstruction:
+    def test_from_matrix_groups_identical_rows(self, tracked_matrix):
+        table = SignatureTable.from_matrix(tracked_matrix)
+        assert table.n_signatures == 3
+        assert table.n_subjects == 6
+        assert table.count([EX.p]) == 3
+        assert table.count([EX.p, EX.q]) == 2
+        assert table.count([EX.q, EX.r]) == 1
+
+    def test_from_matrix_tracks_members(self, tracked_matrix):
+        table = SignatureTable.from_matrix(tracked_matrix)
+        assert table.has_members
+        assert set(table.members_of([EX.p])) == {EX.b1, EX.b2, EX.b3}
+        assert table.signature_of(EX.c1) == frozenset({EX.q, EX.r})
+
+    def test_from_counts_without_members(self, toy_persons_table):
+        assert not toy_persons_table.has_members
+        with pytest.raises(RDFError):
+            toy_persons_table.members_of([EX.name])
+
+    def test_zero_count_signatures_are_dropped(self):
+        table = SignatureTable.from_counts([EX.p], {frozenset([EX.p]): 3, frozenset(): 0})
+        assert table.n_signatures == 1
+
+    def test_unknown_property_in_signature_raises(self):
+        with pytest.raises(RDFError):
+            SignatureTable.from_counts([EX.p], {frozenset([EX.q]): 1})
+
+    def test_negative_count_raises(self):
+        with pytest.raises(RDFError):
+            SignatureTable.from_counts([EX.p], {frozenset([EX.p]): -1})
+
+    def test_ordering_is_by_decreasing_size(self, toy_persons_table):
+        counts = [toy_persons_table.count(sig) for sig in toy_persons_table.signatures]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestAggregates:
+    def test_subject_and_cell_counts(self, toy_persons_table):
+        assert toy_persons_table.n_subjects == 115
+        assert toy_persons_table.n_cells() == 115 * 4
+
+    def test_n_ones_matches_matrix_expansion(self, toy_persons_table):
+        matrix = toy_persons_table.to_matrix()
+        assert toy_persons_table.n_ones() == matrix.n_ones
+
+    def test_property_counts(self, toy_persons_table):
+        counts = toy_persons_table.property_counts()
+        assert counts[EX.name] == 115
+        assert counts[EX.deathDate] == 30
+        assert counts[EX.description] == 15
+
+    def test_both_and_either_counts(self, toy_persons_table):
+        assert toy_persons_table.both_count(EX.deathDate, EX.description) == 10
+        assert toy_persons_table.either_count(EX.deathDate, EX.description) == 35
+
+    def test_support_matrix_and_count_vector(self, toy_persons_table):
+        support = toy_persons_table.support_matrix()
+        counts = toy_persons_table.count_vector()
+        assert support.shape == (5, 4)
+        assert counts.sum() == 115
+
+
+class TestDerivedTables:
+    def test_select_restricts_property_universe(self, toy_persons_table):
+        alive = [
+            frozenset([EX.name, EX.birthDate]),
+            frozenset([EX.name]),
+        ]
+        sub = toy_persons_table.select(alive)
+        assert sub.n_subjects == 80
+        assert EX.deathDate not in sub.properties
+        assert set(sub.properties) == {EX.name, EX.birthDate}
+
+    def test_select_unknown_signature_raises(self, toy_persons_table):
+        with pytest.raises(RDFError):
+            toy_persons_table.select([frozenset([EX.deathDate])])
+
+    def test_restrict_properties_merges_signatures(self, toy_persons_table):
+        projected = toy_persons_table.restrict_properties([EX.name, EX.birthDate])
+        # alive-with-birth and dead-with-birth collapse onto {name, birthDate}
+        assert projected.count([EX.name, EX.birthDate]) == 80
+        assert projected.n_subjects == toy_persons_table.n_subjects
+
+    def test_merge_sums_counts(self, toy_persons_table):
+        merged = toy_persons_table.merge(toy_persons_table)
+        assert merged.n_subjects == 2 * toy_persons_table.n_subjects
+        assert merged.n_signatures == toy_persons_table.n_signatures
+
+    def test_scale_preserves_structuredness_approximately(self, toy_persons_table):
+        scaled = toy_persons_table.scale(10)
+        assert scaled.n_subjects == pytest.approx(10 * toy_persons_table.n_subjects, rel=0.01)
+        assert coverage(scaled) == pytest.approx(coverage(toy_persons_table), abs=0.01)
+        assert similarity(scaled) == pytest.approx(similarity(toy_persons_table), abs=0.01)
+
+    def test_scale_rejects_non_positive_factor(self, toy_persons_table):
+        with pytest.raises(RDFError):
+            toy_persons_table.scale(0)
+
+    def test_to_matrix_round_trip(self, tracked_matrix):
+        table = SignatureTable.from_matrix(tracked_matrix)
+        rebuilt = SignatureTable.from_matrix(table.to_matrix())
+        assert rebuilt == table
+
+    def test_to_graph_expansion(self, toy_persons_table):
+        graph = toy_persons_table.to_graph()
+        assert len(graph.subjects()) == toy_persons_table.n_subjects
+
+
+class TestDunder:
+    def test_len_iter_contains(self, toy_persons_table):
+        assert len(toy_persons_table) == 5
+        assert frozenset([EX.name]) in toy_persons_table
+        assert frozenset([EX.deathDate]) not in toy_persons_table
+        assert "not a signature" not in toy_persons_table
+        assert list(toy_persons_table) == list(toy_persons_table.signatures)
+
+    def test_equality(self, toy_persons_table):
+        clone = SignatureTable(
+            toy_persons_table.properties, toy_persons_table.counts(), name="other name"
+        )
+        assert clone == toy_persons_table
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.lists(st.booleans(), min_size=3, max_size=3),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_signature_table_is_a_lossless_summary_of_row_multisets(data):
+    """Property: the signature table only depends on (and determines) the row multiset."""
+    properties = [EX.p, EX.q, EX.r]
+    rows = {EX[f"s{i}"]: [p for p, keep in zip(properties, row) if keep] for i, row in enumerate(data)}
+    matrix = PropertyMatrix.from_rows(rows, properties=properties)
+    table = SignatureTable.from_matrix(matrix)
+    assert table.n_subjects == len(data)
+    assert table.n_ones() == matrix.n_ones
+    # Permuting the rows does not change the table.
+    shuffled = {EX[f"t{i}"]: rows[s] for i, s in enumerate(reversed(list(rows)))}
+    shuffled_table = SignatureTable.from_matrix(
+        PropertyMatrix.from_rows(shuffled, properties=properties)
+    )
+    assert shuffled_table.counts() == table.counts()

@@ -1,0 +1,113 @@
+"""Tests for property-table materialisation of sort refinements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.refinement import refinement_from_assignment
+from repro.datasets import graph_from_signature_table
+from repro.exceptions import RefinementError
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import EX
+from repro.rdf.terms import Literal
+from repro.storage import PropertyTable, build_property_tables, null_ratio_report
+
+
+@pytest.fixture
+def people_graph() -> RDFGraph:
+    graph = RDFGraph(name="people")
+    graph.add(EX.alice, EX.name, Literal("Alice"))
+    graph.add(EX.alice, EX.birthDate, Literal("1990"))
+    graph.add(EX.bob, EX.name, Literal("Bob"))
+    graph.add(EX.bob, EX.name, Literal("Robert"))  # multi-valued property
+    graph.add(EX.carol, EX.name, Literal("Carol"))
+    graph.add(EX.carol, EX.birthDate, Literal("1950"))
+    graph.add(EX.carol, EX.deathDate, Literal("2020"))
+    return graph
+
+
+@pytest.fixture
+def people_refinement(people_graph):
+    table = SignatureTable.from_graph(people_graph)
+    assignment = {
+        frozenset([EX.name, EX.birthDate]): 0,
+        frozenset([EX.name]): 0,
+        frozenset([EX.name, EX.birthDate, EX.deathDate]): 1,
+    }
+    return refinement_from_assignment(table, assignment, rule_name="Cov")
+
+
+class TestBuildPropertyTables:
+    def test_one_table_per_implicit_sort(self, people_graph, people_refinement):
+        tables = build_property_tables(people_refinement, people_graph)
+        assert len(tables) == people_refinement.k
+        assert sum(table.n_rows for table in tables) == 3
+
+    def test_columns_are_the_used_properties(self, people_graph, people_refinement):
+        tables = build_property_tables(people_refinement, people_graph)
+        alive_table = next(t for t in tables if t.n_rows == 2)
+        dead_table = next(t for t in tables if t.n_rows == 1)
+        assert EX.deathDate not in alive_table.columns
+        assert EX.deathDate in dead_table.columns
+
+    def test_multi_valued_properties_are_joined(self, people_graph, people_refinement):
+        tables = build_property_tables(people_refinement, people_graph)
+        alive_table = next(t for t in tables if t.n_rows == 2)
+        bob_row = alive_table.rows[alive_table.subjects.index(EX.bob)]
+        assert bob_row[EX.name] == "Bob|Robert"
+
+    def test_missing_values_are_none(self, people_graph, people_refinement):
+        tables = build_property_tables(people_refinement, people_graph)
+        alive_table = next(t for t in tables if t.n_rows == 2)
+        bob_row = alive_table.rows[alive_table.subjects.index(EX.bob)]
+        assert bob_row[EX.birthDate] is None
+
+    def test_uncovered_subject_raises(self, people_graph, people_refinement):
+        people_graph.add(EX.dave, EX.unknown, Literal("x"))
+        with pytest.raises(RefinementError):
+            build_property_tables(people_refinement, people_graph)
+
+    def test_null_ratio_matches_one_minus_cov(self, toy_persons_table):
+        graph = graph_from_signature_table(toy_persons_table, EX.Person)
+        table = SignatureTable.from_graph(graph.sort_subgraph(EX.Person))
+        refinement = refinement_from_assignment(table, {sig: 0 for sig in table.signatures})
+        (property_table,) = build_property_tables(refinement, graph.sort_subgraph(EX.Person))
+        from repro.functions import coverage
+
+        assert property_table.null_ratio == pytest.approx(1 - coverage(table))
+
+
+class TestExportsAndReport:
+    def test_csv_round_trip_shape(self, people_graph, people_refinement, tmp_path):
+        tables = build_property_tables(people_refinement, people_graph)
+        for table in tables:
+            text = table.to_csv()
+            lines = [line for line in text.splitlines() if line]
+            assert len(lines) == table.n_rows + 1
+            assert lines[0].startswith("subject,")
+            path = table.write_csv(tmp_path / f"{table.name}.csv")
+            assert path.exists()
+
+    def test_null_ratio_report_with_baseline(self, people_graph, people_refinement):
+        tables = build_property_tables(people_refinement, people_graph)
+        matrix = PropertyMatrix.from_graph(people_graph)
+        baseline = PropertyTable(
+            name="horizontal",
+            columns=tuple(matrix.properties),
+            rows=[
+                {p: ("x" if matrix.cell(s, p) else None) for p in matrix.properties}
+                for s in matrix.subjects
+            ],
+            subjects=list(matrix.subjects),
+        )
+        report = null_ratio_report(tables, baseline=baseline)
+        assert len(report) == len(tables) + 2
+        savings = report[-1]["nulls"]
+        assert savings >= 0  # splitting by signature can only remove NULL cells
+
+    def test_empty_table_has_zero_null_ratio(self):
+        table = PropertyTable(name="empty", columns=(EX.p,))
+        assert table.null_ratio == 0.0
+        assert table.n_cells == 0
