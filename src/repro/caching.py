@@ -1,0 +1,64 @@
+"""Identity-keyed weak caches for per-object derived data.
+
+Several layers derive expensive views from a :class:`SignatureTable` (the
+indexed counting view, the encoder's rough-assignment coefficients, the
+incremental sweep state).  The tables define *value* equality without
+hashing, so a ``WeakKeyDictionary`` cannot hold them; and a plain
+``id()``-keyed dict is unsafe because CPython reuses addresses after
+garbage collection.  :class:`IdentityWeakCache` combines both: entries are
+keyed by ``id()``, guarded by a weak reference that (a) detects address
+reuse by identity check and (b) evicts the entry when the key object dies.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
+
+__all__ = ["IdentityWeakCache"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class IdentityWeakCache(Generic[K, V]):
+    """A cache mapping *object identity* to a derived value.
+
+    The key object must be weak-referenceable.  Values are held strongly
+    until the key object is garbage collected.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[weakref.ref, V]] = {}
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the cached value for ``key`` or ``None``."""
+        entry = self._entries.get(id(key))
+        if entry is None:
+            return None
+        ref, value = entry
+        if ref() is not key:  # address was reused by a different object
+            return None
+        return value
+
+    def set(self, key: K, value: V) -> V:
+        """Cache ``value`` under the identity of ``key``; return ``value``."""
+        key_id = id(key)
+
+        def _evict(_ref: object, key_id: int = key_id) -> None:
+            self._entries.pop(key_id, None)
+
+        self._entries[key_id] = (weakref.ref(key, _evict), value)
+        return value
+
+    def get_or_create(self, key: K, factory: Callable[[K], V]) -> V:
+        """Return the cached value for ``key``, creating it via ``factory``."""
+        value = self.get(key)
+        if value is None:
+            value = self.set(key, factory(key))
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -66,6 +66,7 @@ def decide_sort_refinement(
     k: int,
     solver: Optional[object] = None,
     encoder: Optional[SortRefinementEncoder] = None,
+    incremental: bool = False,
 ) -> RefinementDecision:
     """Decide ``ExistsSortRefinement(r)`` on ``dataset`` for ``θ`` and ``k``.
 
@@ -86,12 +87,20 @@ def decide_sort_refinement(
     encoder:
         A pre-built encoder (lets the θ-search reuse the case coefficients
         across many thresholds).
+    incremental:
+        Encode through :meth:`SortRefinementEncoder.encode_incremental`,
+        which reuses the k/θ-invariant constraint blocks cached on the
+        encoder between probes against the same table.  The model is
+        identical to the from-scratch one; only the encoding cost differs.
     """
     if encoder is None:
         encoder = SortRefinementEncoder(rule)
     if solver is None:
         solver = ScipyMilpSolver()
-    instance = encoder.encode(dataset, k=k, theta=theta)
+    if incremental:
+        instance = encoder.encode_incremental(dataset, k=k, theta=theta)
+    else:
+        instance = encoder.encode(dataset, k=k, theta=theta)
     solution = solver.solve(instance.model)
     if solution.is_feasible:
         refinement = instance.decode(solution)

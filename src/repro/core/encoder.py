@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
+from repro.caching import IdentityWeakCache
 from repro.exceptions import RefinementError
 from repro.functions.structuredness import Dataset, as_signature_table
 from repro.ilp.model import Constraint, LinExpr, Model, Variable
@@ -198,7 +199,8 @@ class SortRefinementEncoder:
         self.hash_exponent_cap = hash_exponent_cap
         self.group_equivalent_cases = group_equivalent_cases
         self.exact_threshold_coefficients = exact_threshold_coefficients
-        self._case_cache: Dict[int, Dict[CaseKey, Tuple[int, int]]] = {}
+        self._case_cache: IdentityWeakCache = IdentityWeakCache()
+        self._sweep_cache: IdentityWeakCache = IdentityWeakCache()
 
     # ------------------------------------------------------------------ #
     # Rough-assignment coefficients
@@ -209,9 +211,9 @@ class SortRefinementEncoder:
         Results are cached per signature table (the θ-search re-encodes the
         same table many times with different thresholds).
         """
-        cache_key = id(table)
-        if cache_key in self._case_cache:
-            return self._case_cache[cache_key]
+        cached = self._case_cache.get(table)
+        if cached is not None:
+            return cached
         grouped: Dict[CaseKey, List[int]] = {}
         for case in enumerate_rough_assignments(self.rule, table):
             if self.group_equivalent_cases:
@@ -224,8 +226,7 @@ class SortRefinementEncoder:
             bucket[0] += case.total
             bucket[1] += case.favourable
         cases = {key: (total, favourable) for key, (total, favourable) in grouped.items()}
-        self._case_cache[cache_key] = cases
-        return cases
+        return self._case_cache.set(table, cases)
 
     # ------------------------------------------------------------------ #
     # Encoding
@@ -247,11 +248,15 @@ class SortRefinementEncoder:
         model = Model(name=f"sort-refinement[{self.rule.name or 'rule'}, k={k}, theta={theta_fraction}]")
         signatures = table.signatures
         properties = table.properties
-        supports: Dict[Signature, FrozenSet[URI]] = {sig: sig for sig in signatures}
-        property_to_signatures: Dict[URI, List[Signature]] = {p: [] for p in properties}
-        for sig in signatures:
-            for p in sig:
-                property_to_signatures[p].append(sig)
+        # Iterate supports in property-universe order (not frozenset order),
+        # so the emitted model is identical across hash seeds and the solver
+        # breaks ties the same way on every run.
+        supports: Dict[Signature, Tuple[URI, ...]] = {
+            sig: tuple(p for p in properties if p in sig) for sig in signatures
+        }
+        property_to_signatures: Dict[URI, List[Signature]] = {
+            p: [sig for sig in signatures if p in sig] for p in properties
+        }
 
         x_vars: Dict[Tuple[int, Signature], Variable] = {}
         u_vars: Dict[Tuple[int, URI], Variable] = {}
@@ -358,3 +363,272 @@ class SortRefinementEncoder:
                 "group_equivalent_cases": self.group_equivalent_cases,
             },
         )
+
+    # ------------------------------------------------------------------ #
+    # Incremental encoding (the k-sweep / θ-sweep fast path)
+    # ------------------------------------------------------------------ #
+    def encode_incremental(
+        self,
+        dataset: Dataset,
+        k: int,
+        theta: Union[float, Fraction, str],
+    ) -> EncodedInstance:
+        """Encode ``ExistsSortRefinement(r)`` by mutating a cached sweep state.
+
+        Produces a model **identical** to :meth:`encode` (same variables in
+        the same order, same constraints with the same coefficients), but
+        instead of rebuilding everything it keeps one
+        :class:`_SweepState` per signature table and mutates it between
+        probes: each implicit sort's variable block and its k/θ-invariant
+        constraints (the U-link and T-AND families — the bulk of the model)
+        are built once and re-attached; moving from ``k`` to ``k ± 1``
+        merely adds or drops one sort's block, and moving between
+        thresholds swaps the ``k`` threshold rows.  A search that probes
+        many (k, θ) pairs against the same table therefore pays the full
+        encoding cost once, not once per probe.
+
+        Because the assembled models share ``Variable`` objects, only the
+        most recently assembled instance per encoder/table may be handed to
+        a solver (earlier instances' variable indexes are re-pointed).  The
+        search strategies solve strictly sequentially, so this is safe; use
+        :meth:`encode` when several live instances are needed at once.
+
+        :meth:`encode` deliberately does *not* share the emission code with
+        this path: it is an independently written reference implementation,
+        which is what makes the bit-identity assertion in
+        ``tests/test_incremental_search.py`` a meaningful cross-check
+        rather than a tautology.  A change to the encoding must be made in
+        both places (the identity test fails loudly if one is missed).
+        """
+        if k < 1:
+            raise RefinementError("the number of implicit sorts k must be at least 1")
+        table = as_signature_table(dataset)
+        theta_fraction = to_fraction(theta)
+        started = time.perf_counter()
+        state = self._sweep_state(table)
+        while len(state.blocks) < k:
+            state.blocks.append(self._build_block(state, len(state.blocks)))
+
+        model = Model(
+            name=f"sort-refinement[{self.rule.name or 'rule'}, k={k}, theta={theta_fraction}]"
+        )
+        variables = model.variables
+        for i in range(k):
+            block = state.blocks[i]
+            for variable in block.ordered_vars:
+                variable.index = len(variables)
+                variables.append(variable)
+
+        # (1) every signature lands in exactly one implicit sort (k-dependent,
+        # cached per k because a sweep revisits the same k many times).
+        assignment = state.assignment_cache.get(k)
+        if assignment is None:
+            assignment = []
+            for sig in state.signatures:
+                expr = LinExpr.sum(state.blocks[i].x[sig] for i in range(k))
+                assignment.append(
+                    Constraint(expr, lower=1.0, upper=1.0, name=f"assign[{signature_key(sig)[:1]}]")
+                )
+            state.assignment_cache[k] = assignment
+        model.constraints.extend(assignment)
+
+        # (2) + (3): the cached per-sort constraint families.
+        for i in range(k):
+            model.constraints.extend(state.blocks[i].link_constraints)
+        for i in range(k):
+            model.constraints.extend(state.blocks[i].and_constraints)
+
+        # (4) the threshold constraint per implicit sort (θ-dependent, cached
+        # per (sort, θ) because a k-sweep revisits the same θ at every k).
+        for i in range(k):
+            model.constraints.append(self._threshold_constraint(state, i, theta_fraction))
+
+        # (5) symmetry breaking between the k implicit sorts.
+        if self.symmetry_breaking == "hash" and k > 1:
+            constraints = state.hash_cache.get(k)
+            if constraints is None:
+                for i in range(k):
+                    block = state.blocks[i]
+                    if block.hash_expr is None:
+                        expr = LinExpr()
+                        for j, sig in enumerate(state.signatures):
+                            weight = 2 ** min(j, self.hash_exponent_cap)
+                            expr = expr + weight * block.x[sig]
+                        block.hash_expr = expr
+                constraints = [
+                    state.blocks[i].hash_expr <= state.blocks[i + 1].hash_expr
+                    for i in range(k - 1)
+                ]
+                state.hash_cache[k] = constraints
+            model.constraints.extend(constraints)
+        elif self.symmetry_breaking == "anchor" and k > 1 and state.signatures:
+            if state.anchor is None:
+                anchor = state.blocks[0].x[state.signatures[0]]
+                state.anchor = Constraint(LinExpr({anchor: 1.0}), lower=1, upper=1)
+            model.constraints.append(state.anchor)
+
+        x_vars = {
+            (i, sig): state.blocks[i].x[sig] for i in range(k) for sig in state.signatures
+        }
+        u_vars = {
+            (i, p): state.blocks[i].u[p] for i in range(k) for p in state.properties
+        }
+        t_vars = {
+            (i, key): state.blocks[i].t[key] for i in range(k) for key in state.cases
+        }
+        encode_time = time.perf_counter() - started
+        return EncodedInstance(
+            model=model,
+            table=table,
+            rule=self.rule,
+            k=k,
+            theta=theta_fraction,
+            x_vars=x_vars,
+            u_vars=u_vars,
+            t_vars=t_vars,
+            case_counts=state.cases,
+            encode_time=encode_time,
+            metadata={
+                "symmetry_breaking": self.symmetry_breaking,
+                "group_equivalent_cases": self.group_equivalent_cases,
+                "incremental": True,
+            },
+        )
+
+    def _sweep_state(self, table: SignatureTable) -> "_SweepState":
+        state = self._sweep_cache.get(table)
+        if state is None:
+            state = self._sweep_cache.set(table, _SweepState(table, self.compute_cases(table)))
+        return state
+
+    def _build_block(self, state: "_SweepState", i: int) -> "_SortBlock":
+        """Create implicit sort ``i``'s variables and its k/θ-invariant constraints."""
+        block = _SortBlock()
+        block.x = {
+            sig: Variable(f"X[{i},{s_index}]", 0, 1, is_integer=True)
+            for s_index, sig in enumerate(state.signatures)
+        }
+        block.u = {
+            p: Variable(f"U[{i},{p.local_name}]", 0, 1, is_integer=True)
+            for p in state.properties
+        }
+        block.t = {
+            key: Variable(f"T[{i},{c_index}]", 0, 1, is_integer=True)
+            for c_index, key in enumerate(state.cases)
+        }
+        block.ordered_vars = (
+            list(block.x.values()) + list(block.u.values()) + list(block.t.values())
+        )
+
+        # (2) U_{i,p} tracks whether sort i uses property p.
+        link: List[Constraint] = []
+        for sig in state.signatures:
+            x_var = block.x[sig]
+            for p in state.supports[sig]:
+                link.append(x_var <= block.u[p])
+        for p in state.properties:
+            providers = state.property_to_signatures[p]
+            if providers:
+                total = LinExpr.sum(block.x[sig] for sig in providers)
+                link.append(block.u[p] <= total)
+            else:
+                link.append(block.u[p] <= 0)
+        block.link_constraints = link
+
+        # (3) T_{i,τ} is the AND of the X/U literals the case mentions.
+        ands: List[Constraint] = []
+        for key in state.cases:
+            literals: List[Variable] = []
+            for sig, prop in key:
+                literals.append(block.x[sig])
+                literals.append(block.u[prop])
+            unique_literals = list(dict.fromkeys(literals))
+            count = len(unique_literals)
+            t_var = block.t[key]
+            literal_sum = LinExpr.sum(unique_literals)
+            ands.append(literal_sum <= t_var + (count - 1))
+            ands.append(count * t_var <= literal_sum)
+        block.and_constraints = ands
+        return block
+
+    def _threshold_constraint(
+        self, state: "_SweepState", i: int, theta_fraction: Fraction
+    ) -> Constraint:
+        block = state.blocks[i]
+        cached = block.threshold_cache.get(theta_fraction)
+        if cached is not None:
+            return cached
+        theta1, theta2 = theta_fraction.numerator, theta_fraction.denominator
+        theta_float = float(theta_fraction)
+        coefficients: Dict[Variable, float] = {}
+        for key, (total, favourable) in state.cases.items():
+            if self.exact_threshold_coefficients:
+                coefficient: float = theta2 * favourable - theta1 * total
+            else:
+                coefficient = favourable - theta_float * total
+            if coefficient != 0:
+                coefficients[block.t[key]] = 1.0 * coefficient
+        constraint = Constraint(LinExpr(coefficients), lower=0.0, name=f"threshold[{i}]")
+        block.threshold_cache[theta_fraction] = constraint
+        return constraint
+
+
+class _SortBlock:
+    """One implicit sort's variables and its k/θ-invariant constraints."""
+
+    __slots__ = (
+        "x",
+        "u",
+        "t",
+        "ordered_vars",
+        "link_constraints",
+        "and_constraints",
+        "threshold_cache",
+        "hash_expr",
+    )
+
+    def __init__(self) -> None:
+        self.x: Dict[Signature, Variable] = {}
+        self.u: Dict[URI, Variable] = {}
+        self.t: Dict[CaseKey, Variable] = {}
+        self.ordered_vars: List[Variable] = []
+        self.link_constraints: List[Constraint] = []
+        self.and_constraints: List[Constraint] = []
+        self.threshold_cache: Dict[Fraction, Constraint] = {}
+        self.hash_expr: Optional[LinExpr] = None
+
+
+class _SweepState:
+    """Everything :meth:`SortRefinementEncoder.encode_incremental` reuses between probes."""
+
+    # NOTE: no reference to the table itself — the sweep cache is weakly
+    # keyed by the table, and a strong back-reference from the value would
+    # pin the entry forever.
+    __slots__ = (
+        "cases",
+        "signatures",
+        "properties",
+        "supports",
+        "property_to_signatures",
+        "blocks",
+        "assignment_cache",
+        "hash_cache",
+        "anchor",
+    )
+
+    def __init__(self, table: SignatureTable, cases: Dict[CaseKey, Tuple[int, int]]):
+        self.cases = cases
+        self.signatures: Tuple[Signature, ...] = table.signatures
+        self.properties: Tuple[URI, ...] = table.properties
+        # Property-universe iteration order keeps the emitted constraints
+        # independent of the hash seed (see SortRefinementEncoder.encode).
+        self.supports: Dict[Signature, Tuple[URI, ...]] = {
+            sig: tuple(p for p in self.properties if p in sig) for sig in self.signatures
+        }
+        self.property_to_signatures: Dict[URI, List[Signature]] = {
+            p: [sig for sig in self.signatures if p in sig] for p in self.properties
+        }
+        self.blocks: List[_SortBlock] = []
+        self.assignment_cache: Dict[int, List[Constraint]] = {}
+        self.hash_cache: Dict[int, List[Constraint]] = {}
+        self.anchor: Optional[Constraint] = None

@@ -23,7 +23,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 import numpy as np
 
 from repro.exceptions import DatasetError
-from repro.matrix.signatures import Signature, SignatureTable
+from repro.matrix.signatures import Signature, SignatureTable, group_boolean_rows
 from repro.rdf.graph import RDFGraph
 from repro.rdf.namespaces import RDF, Namespace
 from repro.rdf.terms import Literal, URI, coerce_uri
@@ -127,13 +127,46 @@ def sample_signature_table(
         known.add(model.prop)
 
     rng = np.random.default_rng(seed)
+    # One uniform draw per (subject, model), materialised row-major: this is
+    # the *same* random stream the per-subject/per-model loop would consume,
+    # so sampled tables are bit-identical to the scalar implementation while
+    # the column-wise evaluation below is vectorised across subjects.
+    draws = rng.random((n_subjects, len(models)))
+    present = np.zeros((n_subjects, len(models)), dtype=bool)
+    column_of = {model.prop: j for j, model in enumerate(models)}
+    for j, model in enumerate(models):
+        if model.probability_function is not None:
+            # The fully general hook needs a per-subject dict of earlier
+            # draws; only these columns fall back to a Python loop.
+            earlier = models[:j]
+            probabilities = np.empty(n_subjects)
+            for i in range(n_subjects):
+                row = {m.prop: bool(present[i, jj]) for jj, m in enumerate(earlier)}
+                probability = float(model.probability_function(row))
+                if not 0.0 <= probability <= 1.0:
+                    raise DatasetError(
+                        f"probability_function for {model.prop} returned {probability}, "
+                        "expected a value in [0, 1]"
+                    )
+                probabilities[i] = probability
+        elif model.conditional_on is None:
+            probabilities = np.full(n_subjects, model.probability)
+        else:
+            conditioning = present[:, column_of[model.conditional_on]]
+            probabilities = np.where(
+                conditioning,
+                float(model.probability_if_present),
+                float(model.probability_if_absent),
+            )
+        present[:, j] = draws[:, j] < probabilities
+
+    # Group identical rows into signatures with one packbits + unique pass.
+    representatives, _inverse, group_sizes = group_boolean_rows(present)
     counts: Dict[Signature, int] = {}
-    for _ in range(n_subjects):
-        present: Dict[URI, bool] = {}
-        for model in models:
-            present[model.prop] = model.sample(rng, present)
-        signature = frozenset(p for p, has in present.items() if has)
-        counts[signature] = counts.get(signature, 0) + 1
+    for g, size in enumerate(group_sizes):
+        row = present[representatives[g]]
+        signature = frozenset(p for p, has in zip(properties, row) if has)
+        counts[signature] = int(size)
     table = SignatureTable(properties, counts, name=name)
     if max_signatures is not None:
         table = cap_signatures(table, max_signatures)
@@ -188,18 +221,36 @@ def graph_from_signature_table(
     namespace = namespace or Namespace("http://example.org/entity/")
     sort = coerce_uri(sort_uri)
     graph = RDFGraph(name=table.name)
+    dictionary = graph.term_dictionary
+    type_id = dictionary.intern(RDF.type)
+    sort_id = dictionary.intern(sort)
     index = 0
     for signature in table.signatures:
-        for _ in range(table.count(signature)):
-            subject = namespace[f"e{index}"]
-            index += 1
-            graph.add(subject, RDF.type, sort)
-            for prop in sorted(signature, key=str):
-                if value_factory is not None:
-                    value = value_factory(subject, prop)
-                else:
-                    value = Literal(f"value of {prop.local_name}")
-                graph.add(subject, prop, value)
+        properties = sorted(signature, key=str)
+        if value_factory is None:
+            # The default literal depends only on the property: intern each
+            # (property, value) pair once per signature and emit the
+            # per-subject triples straight into the ID space.
+            pairs = [
+                (
+                    dictionary.intern(prop),
+                    dictionary.intern(Literal(f"value of {prop.local_name}")),
+                )
+                for prop in properties
+            ]
+            for _ in range(table.count(signature)):
+                subject_id = dictionary.intern(namespace[f"e{index}"])
+                index += 1
+                graph._add_ids(subject_id, type_id, sort_id)
+                for prop_id, value_id in pairs:
+                    graph._add_ids(subject_id, prop_id, value_id)
+        else:
+            for _ in range(table.count(signature)):
+                subject = namespace[f"e{index}"]
+                index += 1
+                graph.add(subject, RDF.type, sort)
+                for prop in properties:
+                    graph.add(subject, prop, value_factory(subject, prop))
     return graph
 
 

@@ -117,6 +117,7 @@ def run_yago_scalability(
                 "properties": table.n_properties,
                 "runtime_s": elapsed,
                 "probes": search.n_probes,
+                "solver_probes": search.n_solver_probes,
                 "theta": search.theta,
             }
         )

@@ -96,11 +96,9 @@ def similarity(dataset: Dataset, exact: bool = False) -> Union[float, Fraction]:
     """
     table = as_signature_table(dataset)
     n_subjects = table.n_subjects
-    total = 0
-    favourable = 0
-    for prop, n_p in table.property_counts().items():
-        total += n_p * (n_subjects - 1)
-        favourable += n_p * (n_p - 1)
+    n_p = table.property_count_vector()
+    total = int(n_p.sum()) * (n_subjects - 1)
+    favourable = int(n_p @ (n_p - 1))
     value = _ratio(favourable, total)
     return value if exact else float(value)
 

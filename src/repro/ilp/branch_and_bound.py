@@ -9,13 +9,19 @@ This backend exists for three reasons:
 * it powers the backend ablation benchmark in ``benchmarks/``.
 
 It solves LP relaxations with ``scipy.optimize.linprog`` (HiGHS LP) and
-branches on the most fractional integer variable.  It is only intended for
-small models (tens to a few hundred integer variables); the default
-backend for real refinement runs is :class:`repro.ilp.scipy_backend.ScipyMilpSolver`.
+branches on the most fractional integer variable.  Nodes store only the
+*bound overrides* accumulated along their branch (a small dict shared
+copy-on-branch), never a full copy of all variable bounds, and the search
+can run depth-first (default, lowest memory) or best-first (pop the node
+with the smallest parent LP bound, which tends to prove optimality with
+fewer nodes on optimisation instances).  It is only intended for small
+models (tens to a few hundred integer variables); the default backend for
+real refinement runs is :class:`repro.ilp.scipy_backend.ScipyMilpSolver`.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import time
 from typing import Dict, List, Optional, Tuple
@@ -31,9 +37,12 @@ __all__ = ["BranchAndBoundSolver"]
 
 _INTEGRALITY_TOLERANCE = 1e-6
 
+#: A node's branching decisions: variable index -> (lower, upper) override.
+_Overrides = Dict[int, Tuple[float, float]]
+
 
 class BranchAndBoundSolver:
-    """Depth-first branch and bound over LP relaxations.
+    """Branch and bound over LP relaxations.
 
     Parameters
     ----------
@@ -42,13 +51,27 @@ class BranchAndBoundSolver:
         returned with status ``feasible``/``time_limit`` when exceeded).
     max_nodes:
         Hard cap on the number of explored nodes.
+    node_order:
+        ``"dfs"`` (default) explores depth-first — constant memory per
+        branch, finds incumbents quickly.  ``"best"`` explores the open
+        node with the smallest parent LP relaxation value first, which
+        usually closes the optimality gap in fewer nodes when a meaningful
+        objective is present.
     """
 
     name = "branch-and-bound"
 
-    def __init__(self, time_limit: Optional[float] = None, max_nodes: int = 200_000):
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        max_nodes: int = 200_000,
+        node_order: str = "dfs",
+    ):
+        if node_order not in ("dfs", "best"):
+            raise ILPError(f"node_order must be 'dfs' or 'best', got {node_order!r}")
         self.time_limit = time_limit
         self.max_nodes = max_nodes
+        self.node_order = node_order
 
     def solve(self, model: Model) -> Solution:
         """Solve ``model`` exactly (within the node/time limits)."""
@@ -81,25 +104,48 @@ class BranchAndBoundSolver:
         else:
             A_ub, b_ub = None, None
 
+        base_lower = arrays["xl"].astype(float)
+        base_upper = arrays["xu"].astype(float)
+
         best_value = math.inf
         best_solution: Optional[np.ndarray] = None
         nodes_explored = 0
         hit_limit = False
 
-        initial_bounds = [(float(lo), float(hi)) for lo, hi in zip(arrays["xl"], arrays["xu"])]
-        stack: List[List[Tuple[float, float]]] = [initial_bounds]
+        # A node is (parent LP bound, tie-break, overrides).  The root has
+        # no overrides; children share the parent dict copy-on-branch, so
+        # memory per node is O(depth) decisions, not O(n) bounds.
+        root = (-math.inf, 0, {})
+        if self.node_order == "best":
+            heap: List[Tuple[float, int, _Overrides]] = [root]
+            pop = lambda: heapq.heappop(heap)
+            push = lambda node: heapq.heappush(heap, node)
+            pending = heap
+        else:
+            stack: List[Tuple[float, int, _Overrides]] = [root]
+            pop = stack.pop
+            push = stack.append
+            pending = stack
+        tiebreak = 0
 
-        while stack:
+        while pending:
             if nodes_explored >= self.max_nodes:
                 hit_limit = True
                 break
             if self.time_limit is not None and time.perf_counter() - started > self.time_limit:
                 hit_limit = True
                 break
-            bounds = stack.pop()
+            parent_bound, _, overrides = pop()
+            if parent_bound >= best_value - 1e-9:
+                continue  # bound became stale after the incumbent improved
             nodes_explored += 1
+            lower = base_lower.copy()
+            upper = base_upper.copy()
+            for index, (lo, hi) in overrides.items():
+                lower[index] = lo
+                upper[index] = hi
             relaxation = linprog(
-                c, A_ub=A_ub, b_ub=b_ub, bounds=bounds, method="highs"
+                c, A_ub=A_ub, b_ub=b_ub, bounds=np.column_stack((lower, upper)), method="highs"
             )
             if relaxation.status != 0 or relaxation.x is None:
                 continue  # infeasible or numerically bad node: prune
@@ -112,14 +158,21 @@ class BranchAndBoundSolver:
                 best_solution = x.copy()
                 continue
             index, value = fractional
-            floor_bounds = [list(b) for b in bounds]
-            ceil_bounds = [list(b) for b in bounds]
-            floor_bounds[index][1] = math.floor(value)
-            ceil_bounds[index][0] = math.ceil(value)
-            if floor_bounds[index][0] <= floor_bounds[index][1]:
-                stack.append([tuple(b) for b in floor_bounds])
-            if ceil_bounds[index][0] <= ceil_bounds[index][1]:
-                stack.append([tuple(b) for b in ceil_bounds])
+            node_lower = float(lower[index])
+            node_upper = float(upper[index])
+            floor_value = math.floor(value)
+            ceil_value = math.ceil(value)
+            bound = float(relaxation.fun)
+            if node_lower <= floor_value:
+                tiebreak += 1
+                floor_overrides = dict(overrides)
+                floor_overrides[index] = (node_lower, float(floor_value))
+                push((bound, tiebreak, floor_overrides))
+            if ceil_value <= node_upper:
+                tiebreak += 1
+                ceil_overrides = dict(overrides)
+                ceil_overrides[index] = (float(ceil_value), node_upper)
+                push((bound, tiebreak, ceil_overrides))
 
         elapsed = time.perf_counter() - started
         if best_solution is None:

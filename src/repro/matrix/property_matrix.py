@@ -81,12 +81,16 @@ class PropertyMatrix:
         properties: Optional[Sequence[URI]] = None,
         name: Optional[str] = None,
     ) -> "PropertyMatrix":
-        """Build ``M(D)`` from an RDF graph.
+        """Build ``M(D)`` from an RDF graph in one vectorised pass.
 
         ``exclude_type`` drops the ``rdf:type`` column (the paper always
         reports property counts "excluding the type property").  An explicit
         ``properties`` sequence fixes the column set and order (columns not
         present in the graph are all-zero).
+
+        The graph hands over its distinct (subject ID, property ID) pairs as
+        NumPy arrays; rows and columns are then filled by a single fancy-
+        indexed assignment instead of per-subject Python loops.
         """
         subjects = sorted(graph.subjects())
         if properties is None:
@@ -96,12 +100,29 @@ class PropertyMatrix:
             if exclude_type:
                 props = [p for p in props if p != RDF.type]
         data = np.zeros((len(subjects), len(props)), dtype=bool)
-        property_index = {p: j for j, p in enumerate(props)}
-        for i, subject in enumerate(subjects):
-            for prop in graph.properties_of(subject, exclude_type=exclude_type):
-                j = property_index.get(prop)
-                if j is not None:
-                    data[i, j] = True
+        if subjects and props:
+            s_ids, p_ids = graph.subject_property_ids(exclude_type=exclude_type)
+            if s_ids.size:
+                dictionary = graph.term_dictionary
+                # Dense ID -> row/column translation tables (IDs are dense
+                # int32, so a flat array beats a dict lookup per pair).
+                n_ids = len(dictionary)
+                id_of = dictionary.id_of
+                row_of = np.full(n_ids, -1, dtype=np.int64)
+                subject_ids = np.fromiter(
+                    (id_of(s) for s in subjects), dtype=np.int64, count=len(subjects)
+                )
+                row_of[subject_ids] = np.arange(len(subjects))
+                col_of = np.full(n_ids, -1, dtype=np.int64)
+                prop_ids = np.fromiter(
+                    (id_of(p) for p in props), dtype=np.int64, count=len(props)
+                )
+                present = prop_ids >= 0
+                col_of[prop_ids[present]] = np.flatnonzero(present)
+                rows = row_of[s_ids]
+                cols = col_of[p_ids]
+                keep = cols >= 0
+                data[rows[keep], cols[keep]] = True
         return cls(data, subjects, props, name=name if name is not None else graph.name)
 
     @classmethod

@@ -16,6 +16,16 @@ characteristics, yet occupies substantially less space".
 In this library a signature is simply a ``frozenset`` of property URIs (its
 support), and :class:`SignatureTable` maps each signature to its size and,
 optionally, to the concrete member subjects.
+
+Internally the table is columnar: alongside the frozenset view it keeps the
+signature supports as **packed bitset rows** (``np.packbits`` of the
+``n_signatures × n_properties`` boolean support matrix) and the signature-
+set sizes as an ``int64`` count vector.  Every aggregate the closed-form
+structuredness functions need (``n_ones``, per-property counts, pairwise
+both/either counts) is a vectorised reduction over those arrays, and
+:meth:`from_matrix` groups matrix rows into signatures with one
+``np.unique`` pass over the packed rows instead of hashing a frozenset per
+subject.  See DESIGN.md, "Interned-ID architecture".
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ from repro.matrix.property_matrix import PropertyMatrix
 from repro.rdf.graph import RDFGraph
 from repro.rdf.terms import URI, coerce_uri
 
-__all__ = ["Signature", "SignatureTable", "signature_key"]
+__all__ = ["Signature", "SignatureTable", "signature_key", "group_boolean_rows"]
 
 #: A signature is represented by its support: the frozenset of properties set to 1.
 Signature = FrozenSet[URI]
@@ -38,6 +48,36 @@ Signature = FrozenSet[URI]
 def signature_key(signature: Signature) -> Tuple[str, ...]:
     """A deterministic sort key for signatures (sorted property strings)."""
     return tuple(sorted(str(p) for p in signature))
+
+
+def group_boolean_rows(data: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group identical rows of a boolean matrix in one vectorised pass.
+
+    Rows are packed into bitsets (``np.packbits``) and deduplicated with
+    ``np.unique``.  Returns ``(representatives, inverse, counts)`` where
+    ``representatives[g]`` is the index of one row of group ``g`` (all rows
+    of a group are identical, so the choice carries no information),
+    ``inverse[i]`` is the group of row ``i``, and ``counts[g]`` the group
+    size.  Shared by :meth:`SignatureTable.from_matrix` and the synthetic
+    dataset sampler so the packing/grouping edge cases live in one place.
+    """
+    n_rows = data.shape[0]
+    packed = (
+        np.packbits(data, axis=1)
+        if data.shape[1]
+        else np.zeros((n_rows, 0), dtype=np.uint8)
+    )
+    if packed.shape[1]:
+        _unique, inverse, counts = np.unique(
+            packed, axis=0, return_inverse=True, return_counts=True
+        )
+        inverse = inverse.ravel()
+    else:
+        inverse = np.zeros(n_rows, dtype=np.int64)
+        counts = np.array([n_rows], dtype=np.int64) if n_rows else np.zeros(0, dtype=np.int64)
+    representatives = np.empty(len(counts), dtype=np.int64)
+    representatives[inverse] = np.arange(n_rows)
+    return representatives, inverse, counts
 
 
 class SignatureTable:
@@ -61,7 +101,17 @@ class SignatureTable:
         Optional human-readable dataset name.
     """
 
-    __slots__ = ("_properties", "_signatures", "_counts", "_members", "name")
+    __slots__ = (
+        "_properties",
+        "_signatures",
+        "_counts",
+        "_members",
+        "_count_vec",
+        "_support_bits",
+        "_support_bool",
+        "name",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -93,6 +143,23 @@ class SignatureTable:
         self._signatures: Tuple[Signature, ...] = tuple(sig for sig, _ in ordered)
         self._counts: Dict[Signature, int] = dict(ordered)
 
+        # Columnar view: count vector + packed bitset rows over the property
+        # universe, aligned with self._signatures / self._properties.
+        self._count_vec: np.ndarray = np.fromiter(
+            (count for _sig, count in ordered), dtype=np.int64, count=len(ordered)
+        )
+        property_index = {p: j for j, p in enumerate(self._properties)}
+        support = np.zeros((len(self._signatures), len(self._properties)), dtype=bool)
+        for i, sig in enumerate(self._signatures):
+            for p in sig:
+                support[i, property_index[p]] = True
+        self._support_bool: np.ndarray = support
+        self._support_bits: np.ndarray = (
+            np.packbits(support, axis=1)
+            if support.size
+            else np.zeros((len(self._signatures), 0), dtype=np.uint8)
+        )
+
         self._members: Optional[Dict[Signature, Tuple[URI, ...]]] = None
         if members is not None:
             collected: Dict[Signature, Tuple[URI, ...]] = {}
@@ -119,20 +186,40 @@ class SignatureTable:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_matrix(cls, matrix: PropertyMatrix, name: Optional[str] = None) -> "SignatureTable":
-        """Group the rows of a :class:`PropertyMatrix` into signature sets."""
-        counts: Dict[Signature, int] = {}
-        members: Dict[Signature, List[URI]] = {}
+        """Group the rows of a :class:`PropertyMatrix` into signature sets.
+
+        The grouping is one vectorised pass: rows are packed into bitsets
+        (``np.packbits``) and deduplicated with ``np.unique``, so the cost
+        per *subject* is a few bytes of packed row, not a frozenset hash.
+        Only the (few) distinct signatures are materialised as frozensets.
+        """
         data = matrix.data
         properties = matrix.properties
-        for i, subject in enumerate(matrix.subjects):
-            row = data[i]
-            signature = frozenset(p for j, p in enumerate(properties) if row[j])
-            counts[signature] = counts.get(signature, 0) + 1
-            members.setdefault(signature, []).append(subject)
+        subjects = matrix.subjects
+        if len(subjects) == 0:
+            return cls(properties, {}, members={}, name=name if name is not None else matrix.name)
+        # One representative row per group gives the support of its signature.
+        representatives, inverse, group_counts = group_boolean_rows(data)
+        n_groups = len(group_counts)
+        signatures = [
+            frozenset(p for j, p in enumerate(properties) if data[representatives[g], j])
+            for g in range(n_groups)
+        ]
+        counts: Dict[Signature, int] = {
+            signatures[g]: int(group_counts[g]) for g in range(n_groups)
+        }
+        # Stable argsort by group recovers each group's members in row order.
+        order = np.argsort(inverse, kind="stable")
+        boundaries = np.cumsum(group_counts)
+        members: Dict[Signature, Tuple[URI, ...]] = {}
+        start = 0
+        for g, stop in enumerate(boundaries):
+            members[signatures[g]] = tuple(subjects[i] for i in order[start:stop])
+            start = stop
         return cls(
             properties,
             counts,
-            members={sig: tuple(subs) for sig, subs in members.items()},
+            members=members,
             name=name if name is not None else matrix.name,
         )
 
@@ -187,7 +274,7 @@ class SignatureTable:
     @property
     def n_subjects(self) -> int:
         """Total number of subjects ``|S(D)|``."""
-        return sum(self._counts.values())
+        return int(self._count_vec.sum())
 
     @property
     def has_members(self) -> bool:
@@ -231,43 +318,74 @@ class SignatureTable:
 
     def n_ones(self) -> int:
         """Total number of (subject, property) facts: ``sum_µ |S(µ)| * |supp(µ)|``."""
-        return sum(count * len(sig) for sig, count in self._counts.items())
+        if not self._signatures:
+            return 0
+        support_sizes = self._support_bool.sum(axis=1)
+        return int(self._count_vec @ support_sizes)
+
+    def _column(self, prop: URI) -> Optional[np.ndarray]:
+        """The boolean signature-membership column of ``prop`` (None if absent)."""
+        try:
+            j = self._properties.index(prop)
+        except ValueError:
+            return None
+        return self._support_bool[:, j]
 
     def property_count(self, prop: object) -> int:
         """Number of subjects that have ``prop``."""
-        p = coerce_uri(prop)
-        return sum(count for sig, count in self._counts.items() if p in sig)
+        column = self._column(coerce_uri(prop))
+        if column is None:
+            return 0
+        return int(self._count_vec @ column)
 
     def property_counts(self) -> Dict[URI, int]:
         """Mapping property -> number of subjects having it."""
-        totals = {p: 0 for p in self._properties}
-        for sig, count in self._counts.items():
-            for p in sig:
-                totals[p] += count
-        return totals
+        totals = self._count_vec @ self._support_bool if self._signatures else np.zeros(
+            self.n_properties, dtype=np.int64
+        )
+        return {p: int(totals[j]) for j, p in enumerate(self._properties)}
+
+    def property_count_vector(self) -> np.ndarray:
+        """Per-property subject counts aligned with :attr:`properties`."""
+        if not self._signatures:
+            return np.zeros(self.n_properties, dtype=np.int64)
+        return np.asarray(self._count_vec @ self._support_bool, dtype=np.int64)
 
     def both_count(self, prop1: object, prop2: object) -> int:
         """Number of subjects having both properties."""
-        p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
-        return sum(count for sig, count in self._counts.items() if p1 in sig and p2 in sig)
+        col1 = self._column(coerce_uri(prop1))
+        col2 = self._column(coerce_uri(prop2))
+        if col1 is None or col2 is None:
+            return 0
+        return int(self._count_vec @ (col1 & col2))
 
     def either_count(self, prop1: object, prop2: object) -> int:
         """Number of subjects having at least one of the two properties."""
-        p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
-        return sum(count for sig, count in self._counts.items() if p1 in sig or p2 in sig)
+        col1 = self._column(coerce_uri(prop1))
+        col2 = self._column(coerce_uri(prop2))
+        if col1 is None and col2 is None:
+            return 0
+        if col1 is None:
+            col1 = np.zeros(len(self._signatures), dtype=bool)
+        if col2 is None:
+            col2 = np.zeros(len(self._signatures), dtype=bool)
+        return int(self._count_vec @ (col1 | col2))
 
     def count_vector(self) -> np.ndarray:
         """Signature-set sizes as an integer vector aligned with :attr:`signatures`."""
-        return np.array([self._counts[sig] for sig in self._signatures], dtype=np.int64)
+        return self._count_vec.copy()
 
     def support_matrix(self) -> np.ndarray:
         """Boolean matrix of shape (n_signatures, n_properties): signature supports."""
-        data = np.zeros((self.n_signatures, self.n_properties), dtype=bool)
-        property_index = {p: j for j, p in enumerate(self._properties)}
-        for i, sig in enumerate(self._signatures):
-            for p in sig:
-                data[i, property_index[p]] = True
-        return data
+        return self._support_bool.copy()
+
+    def packed_support_matrix(self) -> np.ndarray:
+        """The signature supports as packed bitset rows (``np.packbits`` layout).
+
+        Shape ``(n_signatures, ceil(n_properties / 8))``, dtype ``uint8``;
+        bit ``j`` of a row (MSB-first within each byte) is property ``j``.
+        """
+        return self._support_bits.copy()
 
     # ------------------------------------------------------------------ #
     # Derived tables
@@ -362,23 +480,14 @@ class SignatureTable:
         When member subjects are tracked they become the row labels;
         otherwise synthetic subject URIs ``<prefix><i>`` are minted.
         """
-        rows: Dict[URI, Signature] = {}
+        subjects: List[URI] = []
         if self._members is not None:
             for sig in self._signatures:
-                for subject in self._members[sig]:
-                    rows[subject] = sig
+                subjects.extend(self._members[sig])
         else:
-            index = 0
-            for sig in self._signatures:
-                for _ in range(self._counts[sig]):
-                    rows[URI(f"{subject_prefix}{index}")] = sig
-                    index += 1
-        data = np.zeros((len(rows), self.n_properties), dtype=bool)
-        property_index = {p: j for j, p in enumerate(self._properties)}
-        subjects = list(rows)
-        for i, subject in enumerate(subjects):
-            for p in rows[subject]:
-                data[i, property_index[p]] = True
+            subjects = [URI(f"{subject_prefix}{i}") for i in range(self.n_subjects)]
+        # Expand each signature's support row once per member subject.
+        data = np.repeat(self._support_bool, self._count_vec, axis=0)
         return PropertyMatrix(data, subjects, self._properties, name=self.name)
 
     def to_graph(self, subject_prefix: str = "http://example.org/subject/") -> RDFGraph:

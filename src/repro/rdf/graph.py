@@ -1,8 +1,11 @@
-"""An indexed, in-memory RDF graph (triple store).
+"""An indexed, in-memory RDF graph (triple store) over interned term IDs.
 
-This is the storage substrate on which the whole reproduction sits.  The
-graph keeps three hash indexes (SPO, POS, OSP) so that the access patterns
-the paper needs are all O(1)/O(result):
+This is the storage substrate on which the whole reproduction sits.  Terms
+are interned into dense ``int32`` IDs through a
+:class:`~repro.rdf.interning.TermDictionary`, and the graph keeps three
+hash indexes (SPO, POS, OSP) *over those IDs* so that the access patterns
+the paper needs are all O(1)/O(result) while hashing and equality cost a
+machine word instead of a string:
 
 * ``S(D)``     — the set of subjects mentioned in ``D``;
 * ``P(D)``     — the set of properties mentioned in ``D``;
@@ -10,14 +13,23 @@ the paper needs are all O(1)/O(result):
 * ``D_t``      — the subgraph of all triples whose subject is typed ``t``;
 * entity extraction — all triples with a given subject (an *entity* in the
   terminology of Section 4).
+
+The public API stays term-level (URIs and literals in, URIs and literals
+out); the ID representation additionally surfaces as NumPy arrays
+(:meth:`RDFGraph.subject_property_ids`, :meth:`RDFGraph.triple_ids`) that
+the vectorised signature pipeline consumes directly — see DESIGN.md,
+"Interned-ID architecture".
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Iterator, Optional, Set
+from itertools import chain
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.exceptions import RDFError
+from repro.rdf.interning import NO_ID, TermDictionary
 from repro.rdf.namespaces import RDF
 from repro.rdf.terms import Literal, Term, Triple, URI, coerce_object, coerce_uri
 
@@ -38,21 +50,43 @@ class RDFGraph:
         to load into the new graph.
     name:
         Optional human-readable name used in ``repr`` and reports.
+    dictionary:
+        Optional :class:`TermDictionary` to intern terms in.  Subgraph
+        constructors pass the parent's dictionary so derived graphs share
+        one ID space (IDs are never recycled, so sharing is always safe);
+        by default every graph gets its own dictionary.
     """
 
-    __slots__ = ("_spo", "_pos", "_osp", "_size", "name")
+    __slots__ = ("_dict", "_spo", "_pos", "_osp", "_size", "name")
 
-    def __init__(self, triples: Optional[Iterable] = None, name: str = ""):
-        # subject -> predicate -> set of objects
-        self._spo: Dict[URI, Dict[URI, Set[Term]]] = defaultdict(dict)
-        # predicate -> subject -> set of objects
-        self._pos: Dict[URI, Dict[URI, Set[Term]]] = defaultdict(dict)
-        # object -> set of (subject, predicate)
-        self._osp: Dict[Term, Set[tuple]] = defaultdict(set)
+    def __init__(
+        self,
+        triples: Optional[Iterable] = None,
+        name: str = "",
+        dictionary: Optional[TermDictionary] = None,
+    ):
+        self._dict: TermDictionary = dictionary if dictionary is not None else TermDictionary()
+        # subject id -> predicate id -> set of object ids
+        self._spo: Dict[int, Dict[int, Set[int]]] = {}
+        # predicate id -> subject id -> set of object ids
+        self._pos: Dict[int, Dict[int, Set[int]]] = {}
+        # object id -> set of (subject id, predicate id)
+        self._osp: Dict[int, Set[Tuple[int, int]]] = {}
         self._size = 0
         self.name = name
         if triples is not None:
             self.update(triples)
+
+    # ------------------------------------------------------------------ #
+    # Interning helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def term_dictionary(self) -> TermDictionary:
+        """The dictionary interning this graph's terms (shared, not copied)."""
+        return self._dict
+
+    def _term(self, term_id: int) -> Term:
+        return self._dict.term_of(term_id)
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -74,21 +108,38 @@ class RDFGraph:
                 )
         else:
             s, p, o = subject, predicate, obj
-        s = coerce_uri(s)
-        p = coerce_uri(p)
-        o = coerce_object(o)
+        return self._add_ids(
+            self._dict.intern(coerce_uri(s)),
+            self._dict.intern(coerce_uri(p)),
+            self._dict.intern(coerce_object(o)),
+        )
 
-        objects = self._spo[s].setdefault(p, set())
-        if o in objects:
+    def _add_ids(self, s_id: int, p_id: int, o_id: int) -> bool:
+        """Add an already-interned triple; return ``True`` if the graph changed."""
+        objects = self._spo.setdefault(s_id, {}).setdefault(p_id, set())
+        if o_id in objects:
             return False
-        objects.add(o)
-        self._pos[p].setdefault(s, set()).add(o)
-        self._osp[o].add((s, p))
+        objects.add(o_id)
+        self._pos.setdefault(p_id, {}).setdefault(s_id, set()).add(o_id)
+        self._osp.setdefault(o_id, set()).add((s_id, p_id))
         self._size += 1
         return True
 
     def update(self, triples: Iterable) -> int:
         """Add every triple in ``triples``; return how many were new."""
+        if isinstance(triples, RDFGraph):
+            # Fast path: translate the other graph's IDs directly.
+            added = 0
+            other_term = triples._dict.term_of
+            intern = self._dict.intern
+            for s_id, predicates in triples._spo.items():
+                for p_id, objects in predicates.items():
+                    my_s = intern(other_term(s_id))
+                    my_p = intern(other_term(p_id))
+                    for o_id in objects:
+                        if self._add_ids(my_s, my_p, intern(other_term(o_id))):
+                            added += 1
+            return added
         added = 0
         for triple in triples:
             if self.add(triple):
@@ -104,26 +155,28 @@ class RDFGraph:
                 raise RDFError("remove() needs a Triple, a 3-tuple, or three terms")
         else:
             s, p, o = subject, predicate, obj
-        s = coerce_uri(s)
-        p = coerce_uri(p)
-        o = coerce_object(o)
-        objects = self._spo.get(s, {}).get(p)
-        if objects is None or o not in objects:
+        s_id = self._dict.id_of(coerce_uri(s))
+        p_id = self._dict.id_of(coerce_uri(p))
+        o_id = self._dict.id_of(coerce_object(o))
+        if NO_ID in (s_id, p_id, o_id):
             return False
-        objects.discard(o)
+        objects = self._spo.get(s_id, {}).get(p_id)
+        if objects is None or o_id not in objects:
+            return False
+        objects.discard(o_id)
         if not objects:
-            del self._spo[s][p]
-            if not self._spo[s]:
-                del self._spo[s]
-        pos_objects = self._pos[p][s]
-        pos_objects.discard(o)
+            del self._spo[s_id][p_id]
+            if not self._spo[s_id]:
+                del self._spo[s_id]
+        pos_objects = self._pos[p_id][s_id]
+        pos_objects.discard(o_id)
         if not pos_objects:
-            del self._pos[p][s]
-            if not self._pos[p]:
-                del self._pos[p]
-        self._osp[o].discard((s, p))
-        if not self._osp[o]:
-            del self._osp[o]
+            del self._pos[p_id][s_id]
+            if not self._pos[p_id]:
+                del self._pos[p_id]
+        self._osp[o_id].discard((s_id, p_id))
+        if not self._osp[o_id]:
+            del self._osp[o_id]
         self._size -= 1
         return True
 
@@ -137,7 +190,7 @@ class RDFGraph:
         return removed
 
     def clear(self) -> None:
-        """Remove every triple from the graph."""
+        """Remove every triple from the graph (interned terms are kept)."""
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
@@ -157,18 +210,23 @@ class RDFGraph:
             return False
         s, p, o = triple
         try:
-            s = coerce_uri(s)
-            p = coerce_uri(p)
-            o = coerce_object(o)
+            s_id = self._dict.id_of(coerce_uri(s))
+            p_id = self._dict.id_of(coerce_uri(p))
+            o_id = self._dict.id_of(coerce_object(o))
         except RDFError:
             return False
-        return o in self._spo.get(s, {}).get(p, ())
+        if NO_ID in (s_id, p_id, o_id):
+            return False
+        return o_id in self._spo.get(s_id, {}).get(p_id, ())
 
     def __iter__(self) -> Iterator[Triple]:
-        for s, predicates in self._spo.items():
-            for p, objects in predicates.items():
-                for o in objects:
-                    yield Triple(s, p, o)
+        term = self._dict.term_of
+        for s_id, predicates in self._spo.items():
+            s = term(s_id)
+            for p_id, objects in predicates.items():
+                p = term(p_id)
+                for o_id in objects:
+                    yield Triple(s, p, term(o_id))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RDFGraph):
@@ -189,7 +247,7 @@ class RDFGraph:
         return result
 
     def __sub__(self, other: "RDFGraph") -> "RDFGraph":
-        result = RDFGraph(name=self.name)
+        result = RDFGraph(name=self.name, dictionary=self._dict)
         for triple in self:
             if triple not in other:
                 result.add(triple)
@@ -197,7 +255,7 @@ class RDFGraph:
 
     def __and__(self, other: "RDFGraph") -> "RDFGraph":
         small, large = (self, other) if len(self) <= len(other) else (other, self)
-        result = RDFGraph(name=self.name)
+        result = RDFGraph(name=self.name, dictionary=self._dict)
         for triple in small:
             if triple in large:
                 result.add(triple)
@@ -209,7 +267,12 @@ class RDFGraph:
 
     def copy(self, name: Optional[str] = None) -> "RDFGraph":
         """Return a shallow copy of the graph (triples are immutable)."""
-        return RDFGraph(self, name=self.name if name is None else name)
+        result = RDFGraph(name=self.name if name is None else name, dictionary=self._dict)
+        for s_id, predicates in self._spo.items():
+            for p_id, objects in predicates.items():
+                for o_id in objects:
+                    result._add_ids(s_id, p_id, o_id)
+        return result
 
     def isdisjoint(self, other: "RDFGraph") -> bool:
         """Return ``True`` when the two graphs share no triple."""
@@ -226,25 +289,41 @@ class RDFGraph:
         obj: object = None,
     ) -> Iterator[Triple]:
         """Yield all triples matching the pattern (``None`` is a wildcard)."""
-        s = coerce_uri(subject) if subject is not None else None
-        p = coerce_uri(predicate) if predicate is not None else None
-        o = coerce_object(obj) if obj is not None else None
+        term = self._dict.term_of
+        s_id = p_id = o_id = None
+        if subject is not None:
+            s_id = self._dict.id_of(coerce_uri(subject))
+            if s_id == NO_ID:
+                return
+        if predicate is not None:
+            p_id = self._dict.id_of(coerce_uri(predicate))
+            if p_id == NO_ID:
+                return
+        if obj is not None:
+            o_id = self._dict.id_of(coerce_object(obj))
+            if o_id == NO_ID:
+                return
 
-        if s is not None:
-            predicates = self._spo.get(s, {})
-            candidates = [p] if p is not None else list(predicates)
-            for pred in candidates:
-                for value in predicates.get(pred, ()):
-                    if o is None or value == o:
-                        yield Triple(s, pred, value)
-        elif p is not None:
-            for subj, objects in self._pos.get(p, {}).items():
-                for value in objects:
-                    if o is None or value == o:
-                        yield Triple(subj, p, value)
-        elif o is not None:
-            for subj, pred in self._osp.get(o, ()):
-                yield Triple(subj, pred, o)
+        if s_id is not None:
+            s = term(s_id)
+            predicates = self._spo.get(s_id, {})
+            candidates = [p_id] if p_id is not None else list(predicates)
+            for pred_id in candidates:
+                pred = term(pred_id)
+                for value_id in predicates.get(pred_id, ()):
+                    if o_id is None or value_id == o_id:
+                        yield Triple(s, pred, term(value_id))
+        elif p_id is not None:
+            p = term(p_id)
+            for subj_id, objects in self._pos.get(p_id, {}).items():
+                subj = term(subj_id)
+                for value_id in objects:
+                    if o_id is None or value_id == o_id:
+                        yield Triple(subj, p, term(value_id))
+        elif o_id is not None:
+            o = term(o_id)
+            for subj_id, pred_id in self._osp.get(o_id, ()):
+                yield Triple(term(subj_id), term(pred_id), o)
         else:
             yield from iter(self)
 
@@ -254,9 +333,12 @@ class RDFGraph:
 
     def objects(self, subject: object, predicate: object) -> Set[Term]:
         """Return the set of objects for a (subject, predicate) pair."""
-        s = coerce_uri(subject)
-        p = coerce_uri(predicate)
-        return set(self._spo.get(s, {}).get(p, ()))
+        s_id = self._dict.id_of(coerce_uri(subject))
+        p_id = self._dict.id_of(coerce_uri(predicate))
+        if NO_ID in (s_id, p_id):
+            return set()
+        term = self._dict.term_of
+        return {term(o_id) for o_id in self._spo.get(s_id, {}).get(p_id, ())}
 
     def value(self, subject: object, predicate: object) -> Optional[Term]:
         """Return an arbitrary object for (subject, predicate), or ``None``."""
@@ -268,7 +350,8 @@ class RDFGraph:
     # ------------------------------------------------------------------ #
     def subjects(self) -> Set[URI]:
         """Return ``S(D)``: the set of subjects mentioned in the graph."""
-        return set(self._spo)
+        term = self._dict.term_of
+        return {term(s_id) for s_id in self._spo}
 
     def properties(self, exclude_type: bool = False) -> Set[URI]:
         """Return ``P(D)``: the set of properties mentioned in the graph.
@@ -277,29 +360,38 @@ class RDFGraph:
         paper's convention of reporting property counts "excluding the type
         property".
         """
-        props = set(self._pos)
+        term = self._dict.term_of
+        props = {term(p_id) for p_id in self._pos}
         if exclude_type:
             props.discard(RDF.type)
         return props
 
     def has_property(self, subject: object, predicate: object) -> bool:
         """Return ``True`` iff ``subject`` has ``predicate`` in the graph."""
-        s = coerce_uri(subject)
-        p = coerce_uri(predicate)
-        return bool(self._spo.get(s, {}).get(p))
+        s_id = self._dict.id_of(coerce_uri(subject))
+        p_id = self._dict.id_of(coerce_uri(predicate))
+        if NO_ID in (s_id, p_id):
+            return False
+        return bool(self._spo.get(s_id, {}).get(p_id))
 
     def properties_of(self, subject: object, exclude_type: bool = False) -> Set[URI]:
         """Return the set of properties that ``subject`` has."""
-        s = coerce_uri(subject)
-        props = set(self._spo.get(s, {}))
+        s_id = self._dict.id_of(coerce_uri(subject))
+        if s_id == NO_ID:
+            return set()
+        term = self._dict.term_of
+        props = {term(p_id) for p_id in self._spo.get(s_id, {})}
         if exclude_type:
             props.discard(RDF.type)
         return props
 
     def subjects_with_property(self, predicate: object) -> Set[URI]:
         """Return every subject that has ``predicate``."""
-        p = coerce_uri(predicate)
-        return set(self._pos.get(p, {}))
+        p_id = self._dict.id_of(coerce_uri(predicate))
+        if p_id == NO_ID:
+            return set()
+        term = self._dict.term_of
+        return {term(s_id) for s_id in self._pos.get(p_id, {})}
 
     def sorts_of(self, subject: object) -> Set[Term]:
         """Return the declared sorts (``rdf:type`` objects) of ``subject``."""
@@ -307,9 +399,13 @@ class RDFGraph:
 
     def all_sorts(self) -> Set[Term]:
         """Return every sort ``t`` such that some ``(s, type, t)`` triple exists."""
+        type_id = self._dict.id_of(RDF.type)
+        if type_id == NO_ID:
+            return set()
+        term = self._dict.term_of
         sorts: Set[Term] = set()
-        for objects in self._pos.get(RDF.type, {}).values():
-            sorts.update(objects)
+        for objects in self._pos.get(type_id, {}).values():
+            sorts.update(term(o_id) for o_id in objects)
         return sorts
 
     def sort_subgraph(self, sort: object, name: Optional[str] = None) -> "RDFGraph":
@@ -319,24 +415,81 @@ class RDFGraph:
         (s, type, t) ∈ D}``.
         """
         t = coerce_object(sort)
-        result = RDFGraph(name=name if name is not None else f"{self.name}[{t}]")
-        for subj, objects in self._pos.get(RDF.type, {}).items():
-            if t in objects:
-                for triple in self.triples_for_subject(subj):
-                    result.add(triple)
+        result = RDFGraph(
+            name=name if name is not None else f"{self.name}[{t}]",
+            dictionary=self._dict,
+        )
+        type_id = self._dict.id_of(RDF.type)
+        t_id = self._dict.id_of(t)
+        if NO_ID in (type_id, t_id):
+            return result
+        for subj_id, objects in self._pos.get(type_id, {}).items():
+            if t_id in objects:
+                for p_id, subj_objects in self._spo.get(subj_id, {}).items():
+                    for o_id in subj_objects:
+                        result._add_ids(subj_id, p_id, o_id)
         return result
 
     def entity_subgraph(self, subjects: Iterable, name: str = "") -> "RDFGraph":
         """Return the subgraph of all triples whose subject is in ``subjects``."""
-        result = RDFGraph(name=name)
+        result = RDFGraph(name=name, dictionary=self._dict)
         for subject in subjects:
-            for triple in self.triples_for_subject(subject):
-                result.add(triple)
+            s_id = self._dict.id_of(coerce_uri(subject))
+            if s_id == NO_ID:
+                continue
+            for p_id, objects in self._spo.get(s_id, {}).items():
+                for o_id in objects:
+                    result._add_ids(s_id, p_id, o_id)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Vectorised views over the interned IDs
+    # ------------------------------------------------------------------ #
+    def triple_ids(self) -> np.ndarray:
+        """Return all triples as an ``(n, 3) int32`` array of term IDs.
+
+        Row order follows the SPO index (insertion order of subjects and
+        predicates).  Decode columns with :attr:`term_dictionary`.
+        """
+        out = np.empty((self._size, 3), dtype=np.int32)
+        row = 0
+        for s_id, predicates in self._spo.items():
+            for p_id, objects in predicates.items():
+                for o_id in objects:
+                    out[row, 0] = s_id
+                    out[row, 1] = p_id
+                    out[row, 2] = o_id
+                    row += 1
+        return out
+
+    def subject_property_ids(self, exclude_type: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the distinct (subject ID, property ID) pairs as two arrays.
+
+        This is the property-structure view ``M(D)`` in coordinate form —
+        exactly what the vectorised ``PropertyMatrix``/``SignatureTable``
+        constructors consume.  Pairs are deduplicated (the view only records
+        *whether* a subject has a property, not how many objects).
+        """
+        spo = self._spo
+        n_subjects = len(spo)
+        fanout = np.fromiter(map(len, spo.values()), dtype=np.int64, count=n_subjects)
+        s_out = np.repeat(
+            np.fromiter(spo.keys(), dtype=np.int32, count=n_subjects), fanout
+        )
+        p_out = np.fromiter(
+            chain.from_iterable(spo.values()), dtype=np.int32, count=int(fanout.sum())
+        )
+        if exclude_type:
+            type_id = self._dict.id_of(RDF.type)
+            if type_id != NO_ID:
+                keep = p_out != type_id
+                return s_out[keep], p_out[keep]
+        return s_out, p_out
 
     def describe(self) -> Dict[str, int]:
         """Return summary statistics (triples, subjects, properties, literals)."""
-        literal_count = sum(1 for o in self._osp if isinstance(o, Literal))
+        term = self._dict.term_of
+        literal_count = sum(1 for o_id in self._osp if isinstance(term(o_id), Literal))
         return {
             "triples": self._size,
             "subjects": len(self._spo),

@@ -1,0 +1,111 @@
+"""Term interning: a shared dense integer ID space for RDF terms.
+
+Every hot path of the library — triple indexing, the property-structure
+view, signature construction — ultimately only needs to know whether two
+terms are *the same term*.  Carrying full URI/Literal strings through those
+paths wastes memory and time: hashing a URI costs O(len), and NumPy cannot
+vectorise over Python strings at all.
+
+:class:`TermDictionary` interns terms into dense ``int32`` IDs (0, 1, 2, …
+in first-seen order) and translates back on demand.  The ID space is what
+:class:`~repro.rdf.graph.RDFGraph` stores its triples in, and what the
+vectorised signature pipeline (``PropertyMatrix.from_graph`` /
+``SignatureTable.from_matrix``) consumes as NumPy arrays.  The design
+follows the integer-keyed triple indexing used by LMDB-backed stores and
+D4M-style associative arrays (see DESIGN.md, "Interned-ID architecture").
+
+URIs and literals live in one ID space: ``URI("x")`` and ``Literal("x")``
+compare unequal (and hash apart), so they intern to different IDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.exceptions import RDFError
+from repro.rdf.terms import Term
+
+__all__ = ["TermDictionary", "NO_ID"]
+
+#: Sentinel returned by :meth:`TermDictionary.id_of` for unknown terms.
+NO_ID: int = -1
+
+
+class TermDictionary:
+    """A bidirectional mapping term ↔ dense ``int32`` ID.
+
+    IDs are assigned in first-intern order and never change or get
+    recycled, so an ID remains valid for the lifetime of the dictionary
+    and any array of IDs stays decodable.  The dictionary deliberately has
+    no ``remove``: graphs that drop triples keep their terms interned (the
+    cost is a few bytes per stale term, the benefit is that shared
+    dictionaries never invalidate each other's IDs).
+    """
+
+    __slots__ = ("_term_to_id", "_terms")
+
+    def __init__(self, terms: Optional[Iterable[Term]] = None):
+        self._term_to_id: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+        if terms is not None:
+            for term in terms:
+                self.intern(term)
+
+    # ------------------------------------------------------------------ #
+    # Interning
+    # ------------------------------------------------------------------ #
+    def intern(self, term: Term) -> int:
+        """Return the ID of ``term``, assigning a fresh one if needed."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._terms)
+        if new_id >= np.iinfo(np.int32).max:
+            raise RDFError("term dictionary exceeded the int32 ID space")
+        self._term_to_id[term] = new_id
+        self._terms.append(term)
+        return new_id
+
+    def intern_many(self, terms: Iterable[Term]) -> np.ndarray:
+        """Intern every term; return their IDs as an ``int32`` array."""
+        intern = self.intern
+        return np.fromiter((intern(t) for t in terms), dtype=np.int32)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def id_of(self, term: Term) -> int:
+        """Return the ID of ``term``, or :data:`NO_ID` when not interned."""
+        return self._term_to_id.get(term, NO_ID)
+
+    def term_of(self, term_id: int) -> Term:
+        """Return the term with ID ``term_id`` (raises ``RDFError`` if unknown)."""
+        if 0 <= term_id < len(self._terms):
+            return self._terms[term_id]
+        raise RDFError(f"unknown term ID {term_id!r}")
+
+    def decode_many(self, ids: Iterable[int]) -> List[Term]:
+        """Translate an iterable/array of IDs back to terms."""
+        terms = self._terms
+        try:
+            return [terms[i] for i in ids]
+        except IndexError:
+            bad = [int(i) for i in ids if not 0 <= int(i) < len(terms)]
+            raise RDFError(f"unknown term IDs {bad[:5]!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TermDictionary: {len(self._terms)} terms>"

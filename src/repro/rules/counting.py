@@ -32,6 +32,9 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.caching import IdentityWeakCache
 from repro.exceptions import EvaluationError
 from repro.matrix.signatures import Signature, SignatureTable
 from repro.rdf.terms import URI
@@ -125,25 +128,63 @@ def set_partitions(items: Sequence) -> Iterator[List[List]]:
 
 
 # --------------------------------------------------------------------------- #
+# Indexed view of a signature table
+# --------------------------------------------------------------------------- #
+class _IndexedTable:
+    """Array view of a :class:`SignatureTable` for signature-level counting.
+
+    Rough assignments are evaluated over *indices*: a variable binds to a
+    ``(signature index, property index)`` pair, property membership is one
+    lookup in the boolean support matrix (the unpacked bitset rows of the
+    table), and signature-set sizes come from the count vector.  This keeps
+    the inner enumeration loops free of frozenset hashing entirely.
+    """
+
+    __slots__ = ("signatures", "properties", "support", "counts", "prop_index", "sig_index")
+
+    def __init__(self, table: SignatureTable):
+        self.signatures: Tuple[Signature, ...] = table.signatures
+        self.properties: Tuple[URI, ...] = table.properties
+        self.support = table.support_matrix()
+        self.counts: List[int] = [int(c) for c in table.count_vector()]
+        self.prop_index: Dict[URI, int] = {p: j for j, p in enumerate(self.properties)}
+        self.sig_index: Dict[Signature, int] = {s: i for i, s in enumerate(self.signatures)}
+
+
+#: SignatureTable defines value equality without hashing, so the indexed
+#: views are cached per table *identity* (weakref-guarded against id reuse).
+_INDEXED_CACHE: IdentityWeakCache = IdentityWeakCache()
+
+
+def _indexed_view(table: SignatureTable) -> _IndexedTable:
+    return _INDEXED_CACHE.get_or_create(table, _IndexedTable)
+
+
+#: An indexed rough assignment: variable -> (signature index, property index).
+_IndexedAssignment = Dict[Var, Tuple[int, int]]
+
+
+# --------------------------------------------------------------------------- #
 # Rough satisfaction
 # --------------------------------------------------------------------------- #
 def _rough_satisfies(
     formula: Formula,
-    tau: RoughAssignment,
+    tau: _IndexedAssignment,
     same_subject: Dict[frozenset, bool],
+    ctx: _IndexedTable,
 ) -> bool:
-    """Evaluate ``ϕ`` under a rough assignment and a subject-identification pattern.
+    """Evaluate ``ϕ`` under an indexed rough assignment and a subject pattern.
 
     ``same_subject`` maps ``frozenset({a, b})`` to whether variables a and b
     are bound to the same subject.  Variables with different signatures can
     never share a subject, which the caller guarantees.
     """
     if isinstance(formula, ValIs):
-        signature, prop = tau[formula.var]
-        return (prop in signature) == bool(formula.value)
+        si, pj = tau[formula.var]
+        return bool(ctx.support[si, pj]) == bool(formula.value)
     if isinstance(formula, PropIs):
-        _signature, prop = tau[formula.var]
-        return prop == formula.uri
+        _si, pj = tau[formula.var]
+        return ctx.prop_index.get(formula.uri, -1) == pj
     if isinstance(formula, SubjIs):
         raise EvaluationError(
             "rules mentioning subj(c) = <uri> cannot be evaluated at the signature level"
@@ -160,23 +201,20 @@ def _rough_satisfies(
     if isinstance(formula, PropEq):
         return tau[formula.left][1] == tau[formula.right][1]
     if isinstance(formula, ValEq):
-        sig_l, prop_l = tau[formula.left]
-        sig_r, prop_r = tau[formula.right]
-        return (prop_l in sig_l) == (prop_r in sig_r)
+        si_l, pj_l = tau[formula.left]
+        si_r, pj_r = tau[formula.right]
+        return bool(ctx.support[si_l, pj_l]) == bool(ctx.support[si_r, pj_r])
     if isinstance(formula, Not):
-        return not _rough_satisfies(formula.operand, tau, same_subject)
+        return not _rough_satisfies(formula.operand, tau, same_subject, ctx)
     if isinstance(formula, And):
-        return all(_rough_satisfies(op, tau, same_subject) for op in formula.operands)
+        return all(_rough_satisfies(op, tau, same_subject, ctx) for op in formula.operands)
     if isinstance(formula, Or):
-        return any(_rough_satisfies(op, tau, same_subject) for op in formula.operands)
+        return any(_rough_satisfies(op, tau, same_subject, ctx) for op in formula.operands)
     raise EvaluationError(f"unsupported formula node: {type(formula).__name__}")
 
 
-def count_rough(formula: Formula, tau: RoughAssignment, table: SignatureTable) -> int:
-    """Return ``count(ϕ, τ, M)``: concrete assignments compatible with ``τ`` satisfying ``ϕ``.
-
-    The rough assignment must bind every variable of the formula.
-    """
+def _count_rough_indexed(formula: Formula, tau: _IndexedAssignment, ctx: _IndexedTable) -> int:
+    """Index-level core of :func:`count_rough`."""
     variables = sorted(formula.variables())
     missing = [v for v in variables if v not in tau]
     if missing:
@@ -185,7 +223,7 @@ def count_rough(formula: Formula, tau: RoughAssignment, table: SignatureTable) -
 
     # Group variables by signature: only variables with identical signatures
     # can possibly be bound to the same subject.
-    groups: Dict[Signature, List[Var]] = {}
+    groups: Dict[int, List[Var]] = {}
     for variable in variables:
         groups.setdefault(tau[variable][0], []).append(variable)
 
@@ -193,8 +231,8 @@ def count_rough(formula: Formula, tau: RoughAssignment, table: SignatureTable) -
     # co-referent blocks and the number of injective subject choices each
     # partition admits.
     group_options: List[List[Tuple[List[List[Var]], int]]] = []
-    for signature, members in groups.items():
-        size = table.count(signature)
+    for si, members in groups.items():
+        size = ctx.counts[si]
         options: List[Tuple[List[List[Var]], int]] = []
         for partition in set_partitions(members):
             ways = falling_factorial(size, len(partition))
@@ -219,7 +257,7 @@ def count_rough(formula: Formula, tau: RoughAssignment, table: SignatureTable) -
                 for i, a in enumerate(block):
                     for b in block[i + 1 :]:
                         same_subject[frozenset({a, b})] = True
-            if _rough_satisfies(formula, tau, same_subject):
+            if _rough_satisfies(formula, tau, same_subject, ctx):
                 total += weight
             return
         for partition, ways in group_options[index]:
@@ -227,6 +265,50 @@ def count_rough(formula: Formula, tau: RoughAssignment, table: SignatureTable) -
 
     recurse(0, [], 1)
     return total
+
+
+def count_rough(formula: Formula, tau: RoughAssignment, table: SignatureTable) -> int:
+    """Return ``count(ϕ, τ, M)``: concrete assignments compatible with ``τ`` satisfying ``ϕ``.
+
+    The rough assignment must bind every variable of the formula.  The
+    assignment maps variables to ``(signature, property)`` pairs; internally
+    the computation runs over the table's indexed (bitset) view.
+    """
+    variables = sorted(formula.variables())
+    missing = [v for v in variables if v not in tau]
+    if missing:
+        names = ", ".join(v.name for v in missing)
+        raise EvaluationError(f"rough assignment does not bind variables: {names}")
+    ctx = _indexed_view(table)
+    indexed: _IndexedAssignment = {}
+    extra_props: List[URI] = []
+    for variable in variables:
+        signature, prop = tau[variable]
+        sig = frozenset(signature)
+        si = ctx.sig_index.get(sig)
+        if si is None:
+            # A signature set of size zero admits no concrete assignment.
+            return 0
+        pj = ctx.prop_index.get(prop)
+        if pj is None:
+            # Properties outside the table's universe belong to no signature;
+            # give them fresh all-zero columns so membership tests are False.
+            if prop not in extra_props:
+                extra_props.append(prop)
+            pj = len(ctx.properties) + extra_props.index(prop)
+        indexed[variable] = (si, pj)
+    if extra_props:
+        extended = _IndexedTable.__new__(_IndexedTable)
+        extended.signatures = ctx.signatures
+        extended.properties = ctx.properties + tuple(extra_props)
+        extended.support = np.hstack(
+            [ctx.support, np.zeros((len(ctx.signatures), len(extra_props)), dtype=bool)]
+        )
+        extended.counts = ctx.counts
+        extended.prop_index = {p: j for j, p in enumerate(extended.properties)}
+        extended.sig_index = ctx.sig_index
+        ctx = extended
+    return _count_rough_indexed(formula, indexed, ctx)
 
 
 # --------------------------------------------------------------------------- #
@@ -246,6 +328,76 @@ def _prunable_conjuncts(formula: Formula) -> List[Formula]:
     return prunable
 
 
+def _matrix_eval(formula: Formula, ctx: _IndexedTable) -> np.ndarray:
+    """Evaluate a single-variable formula over the whole (signature × property) grid.
+
+    Returns a boolean matrix ``m`` with ``m[si, pj]`` the truth value of the
+    formula under the rough assignment binding its one variable to
+    ``(signature si, property pj)``.  Used by the vectorised fast path of
+    :func:`enumerate_rough_assignments`; every atom a one-variable formula
+    can contain maps onto a NumPy mask over the support bitset matrix.
+    """
+    shape = ctx.support.shape
+    if isinstance(formula, ValIs):
+        return ctx.support if formula.value else ~ctx.support
+    if isinstance(formula, PropIs):
+        j = ctx.prop_index.get(formula.uri, -1)
+        mask = np.zeros(shape, dtype=bool)
+        if j >= 0:
+            mask[:, j] = True
+        return mask
+    if isinstance(formula, SubjIs):
+        raise EvaluationError(
+            "rules mentioning subj(c) = <uri> cannot be evaluated at the signature level"
+        )
+    if isinstance(formula, (VarEq, SubjEq, PropEq, ValEq)):
+        # With a single variable both sides coincide: trivially true.
+        return np.ones(shape, dtype=bool)
+    if isinstance(formula, Not):
+        return ~_matrix_eval(formula.operand, ctx)
+    if isinstance(formula, And):
+        result = np.ones(shape, dtype=bool)
+        for operand in formula.operands:
+            result &= _matrix_eval(operand, ctx)
+        return result
+    if isinstance(formula, Or):
+        result = np.zeros(shape, dtype=bool)
+        for operand in formula.operands:
+            result |= _matrix_eval(operand, ctx)
+        return result
+    raise EvaluationError(f"unsupported formula node: {type(formula).__name__}")
+
+
+def _enumerate_single_variable(
+    rule: Rule,
+    variable: Var,
+    ctx: _IndexedTable,
+    keep_zero_total: bool,
+) -> Iterator[RoughCase]:
+    """Vectorised enumeration for one-variable rules (Cov and its variants).
+
+    The antecedent and the combined formula are evaluated for *all*
+    (signature, property) pairs at once as boolean matrices; totals are the
+    signature sizes wherever the antecedent holds.  Yield order matches the
+    generic path (signatures outer, properties inner).
+    """
+    if ctx.support.size == 0:
+        return
+    antecedent = _matrix_eval(rule.antecedent, ctx)
+    combined = _matrix_eval(rule.combined(), ctx)
+    counts = np.asarray(ctx.counts, dtype=np.int64)[:, None]
+    total_matrix = np.where(antecedent, counts, 0)
+    favourable_matrix = np.where(antecedent & combined, counts, 0)
+    if keep_zero_total:
+        rows, cols = np.divmod(np.arange(antecedent.size), antecedent.shape[1])
+    else:
+        rows, cols = np.nonzero(total_matrix)
+    signatures, properties = ctx.signatures, ctx.properties
+    for si, pj in zip(rows.tolist(), cols.tolist()):
+        tau = {variable: (signatures[si], properties[pj])}
+        yield RoughCase(tau, int(total_matrix[si, pj]), int(favourable_matrix[si, pj]))
+
+
 def enumerate_rough_assignments(
     rule: Rule,
     table: SignatureTable,
@@ -257,6 +409,11 @@ def enumerate_rough_assignments(
     ``keep_zero_total`` is set (the zero-total ones contribute nothing to
     either σ_r or the ILP constraints, which is also the T-variable pruning
     discussed in DESIGN.md).
+
+    One-variable rules take a fully vectorised path over the support bitset
+    matrix; rules with several variables run an indexed backtracking
+    enumeration whose partial assignments are pruned by the antecedent
+    conjuncts that only depend on (signature, property) pairs.
     """
     if rule.uses_subject_constants():
         raise EvaluationError(
@@ -265,34 +422,43 @@ def enumerate_rough_assignments(
     variables = sorted(rule.variables())
     if not variables:
         raise EvaluationError("cannot enumerate rough assignments of a variable-free rule")
+    ctx = _indexed_view(table)
+    if len(variables) == 1:
+        yield from _enumerate_single_variable(rule, variables[0], ctx, keep_zero_total)
+        return
     prunable = _prunable_conjuncts(rule.antecedent)
-    candidates: List[Tuple[Signature, URI]] = [
-        (signature, prop) for signature in table.signatures for prop in table.properties
+    candidates: List[Tuple[int, int]] = [
+        (si, pj)
+        for si in range(len(ctx.signatures))
+        for pj in range(len(ctx.properties))
     ]
     combined = rule.combined()
+    signatures, properties = ctx.signatures, ctx.properties
 
-    def recurse(index: int, partial: RoughAssignment) -> Iterator[RoughCase]:
+    def recurse(index: int, partial: _IndexedAssignment) -> Iterator[RoughCase]:
         if index == len(variables):
-            tau = dict(partial)
-            total = count_rough(rule.antecedent, tau, table)
+            total = _count_rough_indexed(rule.antecedent, partial, ctx)
             if total == 0 and not keep_zero_total:
                 return
-            favourable = count_rough(combined, tau, table) if total > 0 else 0
+            favourable = _count_rough_indexed(combined, partial, ctx) if total > 0 else 0
+            tau = {
+                v: (signatures[si], properties[pj]) for v, (si, pj) in partial.items()
+            }
             yield RoughCase(tau, total, favourable)
             return
         variable = variables[index]
-        for signature, prop in candidates:
-            partial[variable] = (signature, prop)
+        for pair in candidates:
+            partial[variable] = pair
             if _partial_ok(prunable, partial):
                 yield from recurse(index + 1, partial)
             del partial[variable]
 
-    def _partial_ok(constraints: List[Formula], partial: RoughAssignment) -> bool:
+    def _partial_ok(constraints: List[Formula], partial: _IndexedAssignment) -> bool:
         bound = set(partial)
         for constraint in constraints:
             if constraint.variables() <= bound:
                 # Subject-identification is irrelevant for prunable conjuncts.
-                if not _rough_satisfies(constraint, partial, _ALWAYS_DIFFERENT):
+                if not _rough_satisfies(constraint, partial, _ALWAYS_DIFFERENT, ctx):
                     return False
         return True
 

@@ -1,0 +1,164 @@
+"""Cross-checks for the incremental k-sweep / θ-sweep solver path.
+
+The incremental encoder must emit models *bit-identical* to the
+from-scratch encoder, and the searches must return identical results (same
+k, same θ, same refinement partitions) whether they encode incrementally
+or from scratch — the from-scratch path is kept exactly as this
+cross-check.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import SortRefinementEncoder
+from repro.core.search import highest_theta_refinement, lowest_k_refinement
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.model import Model
+from repro.rules import coverage, similarity
+
+
+def models_identical(a: Model, b: Model) -> bool:
+    arrays_a, arrays_b = a.to_arrays(), b.to_arrays()
+    for key in ("c", "cl", "cu", "xl", "xu", "integrality"):
+        if not np.array_equal(arrays_a[key], arrays_b[key]):
+            return False
+    if not np.array_equal(arrays_a["A"].toarray(), arrays_b["A"].toarray()):
+        return False
+    return [v.name for v in a.variables] == [v.name for v in b.variables]
+
+
+class TestIncrementalEncoding:
+    @pytest.mark.parametrize("symmetry", ["anchor", "none", "hash"])
+    def test_models_are_bit_identical_to_from_scratch(self, toy_persons_table, symmetry):
+        for rule in (coverage(), similarity()):
+            encoder = SortRefinementEncoder(rule, symmetry_breaking=symmetry)
+            # Probe a k/θ walk that grows, shrinks and revisits blocks.
+            for k, theta in [
+                (1, Fraction(1, 2)),
+                (2, Fraction(7, 10)),
+                (4, Fraction(9, 10)),
+                (2, Fraction(7, 10)),
+                (3, Fraction(4, 5)),
+            ]:
+                scratch = encoder.encode(toy_persons_table, k, theta)
+                incremental = encoder.encode_incremental(toy_persons_table, k, theta)
+                assert models_identical(scratch.model, incremental.model)
+                assert incremental.metadata["incremental"] is True
+
+    def test_sweep_state_reuses_blocks_between_probes(self, toy_persons_table):
+        encoder = SortRefinementEncoder(coverage())
+        first = encoder.encode_incremental(toy_persons_table, 2, Fraction(1, 2))
+        second = encoder.encode_incremental(toy_persons_table, 3, Fraction(3, 4))
+        # The k=2 blocks (their Variable objects) are shared across probes.
+        for key, variable in first.x_vars.items():
+            assert second.x_vars[key] is variable
+
+    def test_case_coefficients_are_computed_once(self, toy_persons_table):
+        encoder = SortRefinementEncoder(coverage())
+        first = encoder.compute_cases(toy_persons_table)
+        assert encoder.compute_cases(toy_persons_table) is first
+
+
+def assignment_groups(refinement):
+    """The partition as a canonical set of frozensets of signatures."""
+    groups = {}
+    for sig, index in refinement.assignment().items():
+        groups.setdefault(index, set()).add(sig)
+    return {frozenset(g) for g in groups.values()}
+
+
+class TestSearchEquivalence:
+    """Incremental and from-scratch searches agree on every existing scenario."""
+
+    def run_both(self, search, *args, **kwargs):
+        incremental = search(*args, use_incremental=True, **kwargs)
+        scratch = search(*args, use_incremental=False, **kwargs)
+        assert incremental.k == scratch.k
+        assert incremental.theta == pytest.approx(scratch.theta)
+        assert assignment_groups(incremental.refinement) == assignment_groups(
+            scratch.refinement
+        )
+        assert [(s.theta, s.k, s.feasible) for s in incremental.steps] == [
+            (s.theta, s.k, s.feasible) for s in scratch.steps
+        ]
+        return incremental
+
+    def test_highest_theta_cov(self, toy_persons_table):
+        self.run_both(
+            highest_theta_refinement, toy_persons_table, coverage(), 2, step=0.05
+        )
+
+    def test_highest_theta_sim(self, toy_persons_table):
+        self.run_both(
+            highest_theta_refinement, toy_persons_table, similarity(), 2, step=0.05
+        )
+
+    def test_highest_theta_without_witness_skip(self, toy_persons_table):
+        with_skip = highest_theta_refinement(
+            toy_persons_table, coverage(), 2, step=0.05, witness_skip=True
+        )
+        without_skip = highest_theta_refinement(
+            toy_persons_table, coverage(), 2, step=0.05, witness_skip=False
+        )
+        assert with_skip.theta == pytest.approx(without_skip.theta)
+        assert [(s.theta, s.feasible) for s in with_skip.steps] == [
+            (s.theta, s.feasible) for s in without_skip.steps
+        ]
+        # Witness-certified probes avoid the solver; the trace length does not change.
+        assert with_skip.n_solver_probes <= without_skip.n_solver_probes
+
+    @pytest.mark.parametrize("direction", ["up", "down", "auto"])
+    def test_lowest_k_directions(self, toy_persons_table, direction):
+        self.run_both(
+            lowest_k_refinement, toy_persons_table, coverage(), 0.9, direction=direction
+        )
+
+    def test_lowest_k_without_witness_skip_agrees_on_k(self, toy_persons_table):
+        with_skip = lowest_k_refinement(
+            toy_persons_table, coverage(), 0.9, direction="down", witness_skip=True
+        )
+        without_skip = lowest_k_refinement(
+            toy_persons_table, coverage(), 0.9, direction="down", witness_skip=False
+        )
+        assert with_skip.k == without_skip.k
+        assert with_skip.n_solver_probes <= without_skip.n_solver_probes
+
+    def test_witness_steps_are_marked_in_the_trace(self, toy_persons_table):
+        result = lowest_k_refinement(
+            toy_persons_table, coverage(), 0.9, direction="down", witness_skip=True
+        )
+        statuses = {step.status for step in result.steps}
+        assert "witness" in statuses
+        # Witness-certified refinements still satisfy the threshold exactly.
+        from repro.functions import coverage_function
+
+        assert result.refinement.min_structuredness(coverage_function()) >= 0.9 - 1e-9
+
+
+class TestBranchAndBoundNodeOrdering:
+    def build_model(self) -> Model:
+        model = Model(name="knapsack")
+        weights = [3, 5, 7, 4, 6]
+        values = [4, 6, 9, 5, 7]
+        items = [model.add_binary(f"x{i}") for i in range(5)]
+        total_weight = sum(w * x for w, x in zip(weights, items))
+        model.add_constraint(total_weight <= 12)
+        objective = sum(v * x for v, x in zip(values, items))
+        model.set_objective(objective, sense="maximize")
+        return model
+
+    def test_best_first_agrees_with_depth_first(self):
+        dfs = BranchAndBoundSolver(node_order="dfs").solve(self.build_model())
+        best = BranchAndBoundSolver(node_order="best").solve(self.build_model())
+        assert dfs.is_feasible and best.is_feasible
+        assert dfs.objective == pytest.approx(best.objective)
+
+    def test_unknown_node_order_rejected(self):
+        from repro.exceptions import ILPError
+
+        with pytest.raises(ILPError):
+            BranchAndBoundSolver(node_order="breadth")

@@ -1,0 +1,245 @@
+"""Tests for the interned-ID core: TermDictionary, ID-backed graphs, bitset tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.caching import IdentityWeakCache
+from repro.datasets.mixed import mixed_drug_companies_and_sultans
+from repro.exceptions import RDFError
+from repro.functions.structuredness import (
+    conditional_dependency,
+    coverage,
+    dependency,
+    similarity,
+    symmetric_dependency,
+)
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.graph import RDFGraph
+from repro.rdf.interning import NO_ID, TermDictionary
+from repro.rdf.namespaces import EX, RDF
+from repro.rdf.terms import Literal, URI
+
+
+class TestTermDictionary:
+    def test_intern_assigns_dense_ids_in_first_seen_order(self):
+        dictionary = TermDictionary()
+        assert dictionary.intern(EX.a) == 0
+        assert dictionary.intern(EX.b) == 1
+        assert dictionary.intern(EX.a) == 0  # stable on re-intern
+        assert len(dictionary) == 2
+
+    def test_term_round_trip(self):
+        dictionary = TermDictionary()
+        terms = [EX.a, Literal("42"), EX.b, Literal("b")]
+        ids = [dictionary.intern(t) for t in terms]
+        assert [dictionary.term_of(i) for i in ids] == terms
+        assert dictionary.decode_many(ids) == terms
+
+    def test_uri_and_literal_with_same_characters_get_distinct_ids(self):
+        dictionary = TermDictionary()
+        uri_id = dictionary.intern(URI("x"))
+        literal_id = dictionary.intern(Literal("x"))
+        assert uri_id != literal_id
+        assert isinstance(dictionary.term_of(uri_id), URI)
+        assert isinstance(dictionary.term_of(literal_id), Literal)
+
+    def test_id_of_unknown_term_is_sentinel(self):
+        dictionary = TermDictionary()
+        assert dictionary.id_of(EX.missing) == NO_ID
+        assert EX.missing not in dictionary
+
+    def test_term_of_unknown_id_raises(self):
+        dictionary = TermDictionary()
+        with pytest.raises(RDFError):
+            dictionary.term_of(7)
+
+    def test_intern_many_returns_int32_array(self):
+        dictionary = TermDictionary()
+        ids = dictionary.intern_many([EX.a, EX.b, EX.a])
+        assert ids.dtype == np.int32
+        assert ids.tolist() == [0, 1, 0]
+
+    def test_iteration_yields_terms_in_id_order(self):
+        dictionary = TermDictionary([EX.a, EX.b])
+        assert list(dictionary) == [EX.a, EX.b]
+
+
+class TestInternedGraph:
+    def build(self) -> RDFGraph:
+        graph = RDFGraph(name="people")
+        graph.add(EX.alice, RDF.type, EX.Person)
+        graph.add(EX.alice, EX.name, Literal("Alice"))
+        graph.add(EX.alice, EX.age, Literal("42"))
+        graph.add(EX.bob, RDF.type, EX.Person)
+        graph.add(EX.bob, EX.name, Literal("Bob"))
+        return graph
+
+    def test_graph_equality_survives_round_trip_through_triples(self):
+        original = self.build()
+        rebuilt = RDFGraph(list(original), name="rebuilt")
+        assert original == rebuilt
+        assert rebuilt == original
+        # The two graphs have distinct dictionaries (different intern order
+        # is irrelevant: equality is term-level).
+        assert original.term_dictionary is not rebuilt.term_dictionary
+
+    def test_subgraphs_share_the_parent_dictionary(self):
+        graph = self.build()
+        persons = graph.sort_subgraph(EX.Person)
+        assert persons.term_dictionary is graph.term_dictionary
+        assert graph.copy().term_dictionary is graph.term_dictionary
+        assert (graph - persons).term_dictionary is graph.term_dictionary
+
+    def test_triple_ids_decode_back_to_the_graph(self):
+        graph = self.build()
+        ids = graph.triple_ids()
+        assert ids.shape == (len(graph), 3)
+        assert ids.dtype == np.int32
+        dictionary = graph.term_dictionary
+        decoded = {
+            (dictionary.term_of(s), dictionary.term_of(p), dictionary.term_of(o))
+            for s, p, o in ids.tolist()
+        }
+        assert decoded == set((t.subject, t.predicate, t.object) for t in graph)
+
+    def test_subject_property_ids_match_the_matrix_view(self):
+        graph = self.build()
+        s_ids, p_ids = graph.subject_property_ids(exclude_type=True)
+        dictionary = graph.term_dictionary
+        pairs = {
+            (dictionary.term_of(s), dictionary.term_of(p))
+            for s, p in zip(s_ids.tolist(), p_ids.tolist())
+        }
+        expected = {
+            (subject, prop)
+            for subject in graph.subjects()
+            for prop in graph.properties_of(subject, exclude_type=True)
+        }
+        assert pairs == expected
+
+    def test_matrix_built_from_ids_equals_per_subject_construction(self):
+        graph = self.build()
+        matrix = PropertyMatrix.from_graph(graph, exclude_type=True)
+        rows = {
+            subject: graph.properties_of(subject, exclude_type=True)
+            for subject in graph.subjects()
+        }
+        reference = PropertyMatrix.from_rows(rows, properties=matrix.properties)
+        assert matrix == reference
+
+    def test_signature_table_round_trips_through_graph(self):
+        graph = self.build()
+        table = SignatureTable.from_graph(graph)
+        regrouped = SignatureTable.from_matrix(table.to_matrix())
+        assert table.counts() == regrouped.counts()
+
+
+class TestBitsetClosedFormsGolden:
+    """The vectorised closed forms must match a pure-Fraction recomputation.
+
+    The reference values are computed from the signature -> count mapping
+    with plain Python loops (the formulas of the module docstring), on the
+    mixed Drug Companies + Sultans dataset — exactly, not approximately.
+    """
+
+    @pytest.fixture(scope="class")
+    def mixed_table(self):
+        return mixed_drug_companies_and_sultans(
+            n_drug_companies=120, n_sultans=90, seed=17
+        ).table
+
+    def test_coverage_matches_reference(self, mixed_table):
+        from fractions import Fraction
+
+        counts = mixed_table.counts()
+        ones = sum(count * len(sig) for sig, count in counts.items())
+        cells = sum(counts.values()) * len(mixed_table.properties)
+        assert coverage(mixed_table, exact=True) == Fraction(ones, cells)
+
+    def test_similarity_matches_reference(self, mixed_table):
+        from fractions import Fraction
+
+        counts = mixed_table.counts()
+        n_subjects = sum(counts.values())
+        total = favourable = 0
+        for prop in mixed_table.properties:
+            n_p = sum(count for sig, count in counts.items() if prop in sig)
+            total += n_p * (n_subjects - 1)
+            favourable += n_p * (n_p - 1)
+        assert similarity(mixed_table, exact=True) == Fraction(favourable, total)
+
+    @pytest.mark.parametrize("i, j", [(0, 1), (1, 2), (2, 0), (0, 3)])
+    def test_dependencies_match_reference(self, mixed_table, i, j):
+        from fractions import Fraction
+
+        properties = mixed_table.properties
+        p1, p2 = properties[i], properties[j]
+        counts = mixed_table.counts()
+        n_subjects = sum(counts.values())
+        n_p1 = sum(c for sig, c in counts.items() if p1 in sig)
+        both = sum(c for sig, c in counts.items() if p1 in sig and p2 in sig)
+        either = sum(c for sig, c in counts.items() if p1 in sig or p2 in sig)
+        assert dependency(mixed_table, p1, p2, exact=True) == (
+            Fraction(both, n_p1) if n_p1 else Fraction(1)
+        )
+        assert symmetric_dependency(mixed_table, p1, p2, exact=True) == (
+            Fraction(both, either) if either else Fraction(1)
+        )
+        assert conditional_dependency(mixed_table, p1, p2, exact=True) == Fraction(
+            n_subjects - n_p1 + both, n_subjects
+        )
+
+    def test_support_matrix_round_trips_through_packed_bits(self, mixed_table):
+        support = mixed_table.support_matrix()
+        packed = mixed_table.packed_support_matrix()
+        unpacked = np.unpackbits(packed, axis=1)[:, : mixed_table.n_properties].astype(bool)
+        assert np.array_equal(support, unpacked)
+
+
+class TestIdentityWeakCache:
+    def test_caches_by_identity_not_equality(self):
+        cache = IdentityWeakCache()
+
+        class Key:
+            def __eq__(self, other):  # pragma: no cover - never called by cache
+                return True
+
+        a, b = Key(), Key()
+        cache.set(a, "for-a")
+        assert cache.get(a) == "for-a"
+        assert cache.get(b) is None
+
+    def test_entries_are_evicted_when_the_key_dies(self):
+        import gc
+
+        cache = IdentityWeakCache()
+
+        class Key:
+            pass
+
+        key = Key()
+        cache.set(key, "value")
+        assert len(cache) == 1
+        del key
+        gc.collect()
+        assert len(cache) == 0
+
+    def test_get_or_create_invokes_factory_once(self):
+        cache = IdentityWeakCache()
+
+        class Key:
+            pass
+
+        key = Key()
+        calls = []
+
+        def factory(k):
+            calls.append(k)
+            return "value"
+
+        assert cache.get_or_create(key, factory) == "value"
+        assert cache.get_or_create(key, factory) == "value"
+        assert len(calls) == 1
