@@ -20,8 +20,7 @@ from repro.core.encoder import SortRefinementEncoder
 from repro.core.search import highest_theta_refinement
 from repro.datasets import dbpedia_persons_table
 from repro.functions import similarity as similarity_closed_form
-from repro.ilp.branch_and_bound import BranchAndBoundSolver
-from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.ilp.registry import get_solver
 from repro.matrix.signatures import SignatureTable
 from repro.rdf.namespaces import EX
 from repro.rules import coverage, similarity
@@ -74,7 +73,7 @@ class TestEncodingAblation:
         instance = benchmark.pedantic(
             lambda: encoder.encode(table, k=2, theta=0.8), rounds=1, iterations=1
         )
-        solution = ScipyMilpSolver(time_limit=60).solve(instance.model)
+        solution = get_solver("highs", time_limit=60).solve(instance.model)
         assert solution.status in ("optimal", "infeasible")
 
     @pytest.mark.parametrize(
@@ -86,7 +85,7 @@ class TestEncodingAblation:
 
         def solve() -> bool:
             instance = encoder.encode(table, k=3, theta=0.8)
-            return ScipyMilpSolver(time_limit=60).solve(instance.model).is_feasible
+            return get_solver("highs", time_limit=60).solve(instance.model).is_feasible
 
         feasible = benchmark.pedantic(solve, rounds=1, iterations=1)
         assert isinstance(feasible, bool)
@@ -95,7 +94,7 @@ class TestEncodingAblation:
 class TestBackendAblation:
     @pytest.mark.parametrize(
         "solver_factory",
-        [lambda: ScipyMilpSolver(), lambda: BranchAndBoundSolver(max_nodes=20_000)],
+        [lambda: get_solver("highs"), lambda: get_solver("branch-and-bound", max_nodes=20_000)],
         ids=["highs", "branch-and-bound"],
     )
     def test_bench_backends_on_a_small_instance(self, benchmark, solver_factory, tiny_table):

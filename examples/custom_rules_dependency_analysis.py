@@ -2,7 +2,8 @@
 
 The structuredness framework is not limited to the built-in functions: any
 rule written in the language of Section 3 defines a structuredness
-function.  This example:
+function.  This example drives one :class:`~repro.api.StructurednessSession`
+over the DBpedia Persons stand-in:
 
 * tabulates σDep over the birth/death properties of DBpedia Persons
   (Table 1) and σSymDep over all property pairs (Table 2);
@@ -17,23 +18,20 @@ Run with:  python examples/custom_rules_dependency_analysis.py
 
 from __future__ import annotations
 
+import os
 from itertools import combinations
 
+from repro.api import Dataset
 from repro.core import GreedyRefiner
-from repro.datasets import dbpedia_persons_table
 from repro.datasets.dbpedia_persons import PERSON_PROPERTIES, PERSONS_NAMESPACE as DBO
-from repro.functions import (
-    coverage_function,
-    dependency,
-    function_from_rule,
-    symmetric_dependency,
-)
 from repro.report import format_table
-from repro.rules import parse_rule
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
 
 
 def main() -> None:
-    persons = dbpedia_persons_table(n_subjects=20_000)
+    dataset = Dataset.builtin("dbpedia-persons", n_subjects=max(500, int(20_000 * SCALE)))
+    session = dataset.session()
 
     # --- Table 1: sigma_Dep over the four birth/death properties ---------- #
     focus = [DBO.deathPlace, DBO.birthPlace, DBO.deathDate, DBO.birthDate]
@@ -41,7 +39,7 @@ def main() -> None:
     for p1 in focus:
         row = {"p1 \\ p2": p1.local_name}
         for p2 in focus:
-            row[p2.local_name] = dependency(persons, p1, p2)
+            row[p2.local_name] = session.dependency(p1, p2).value
         rows.append(row)
     print(format_table(rows, digits=2, title="[Table 1] sigma_Dep[p1, p2]"))
     print("-> the deathPlace row is uniformly high: knowing where someone died\n"
@@ -51,7 +49,7 @@ def main() -> None:
     ranking = sorted(
         (
             {"p1": p1.local_name, "p2": p2.local_name,
-             "SymDep": symmetric_dependency(persons, p1, p2)}
+             "SymDep": session.dependency(p1, p2, symmetric=True).value}
             for p1, p2 in combinations(PERSON_PROPERTIES, 2)
         ),
         key=lambda row: -row["SymDep"],
@@ -60,33 +58,32 @@ def main() -> None:
                        title="[Table 2] most / least correlated property pairs"))
 
     # --- Custom rules in the text syntax ----------------------------------- #
-    ignore_names = parse_rule(
+    ignore_names = (
         f"c = c and prop(c) != <{DBO.name}> and prop(c) != <{DBO.givenName}> "
         f"and prop(c) != <{DBO.surName}> -> val(c) = 1"
     )
-    cov_without_names = function_from_rule(ignore_names, name="Cov ignoring name columns")
-
-    described_people_have_birth_facts = parse_rule(
+    described_people_have_birth_facts = (
         f"subj(c1) = subj(c2) and subj(c1) = subj(c3) "
         f"and prop(c1) = <{DBO.description}> and val(c1) = 1 "
         f"and prop(c2) = <{DBO.birthDate}> and prop(c3) = <{DBO.birthPlace}> "
         f"-> val(c2) = 1 and val(c3) = 1"
     )
-    described_fn = function_from_rule(
-        described_people_have_birth_facts, name="described people have birth facts"
-    )
 
+    # Rule text is accepted anywhere a rule is expected.
+    cov_without_names = session.evaluate(ignore_names)
+    described = session.evaluate(described_people_have_birth_facts)
     print("\n[custom rules]")
-    print(f"  {cov_without_names.name:45s} = {cov_without_names(persons):.3f}")
-    print(f"  {described_fn.name:45s} = {described_fn(persons):.3f}")
+    print(f"  {'Cov ignoring name columns':45s} = {cov_without_names.value:.3f}")
+    print(f"  {'described people have birth facts':45s} = {described.value:.3f}")
 
     # --- Evaluating a rule per implicit sort -------------------------------- #
-    refinement = GreedyRefiner(coverage_function()).refine_k(persons, 3)
+    cov_without_names_fn = session.function_for(ignore_names)
+    refinement = GreedyRefiner(session.function_for("Cov")).refine_k(dataset.table, 3)
     print("\n[custom 'Cov ignoring name columns' per implicit sort of a greedy k=3 refinement]")
     for implicit_sort in refinement.sorts:
         print(
             f"  sort {implicit_sort.index + 1} ({implicit_sort.n_subjects} subjects): "
-            f"{cov_without_names(implicit_sort.table):.3f}"
+            f"{cov_without_names_fn(implicit_sort.table):.3f}"
         )
 
 

@@ -4,8 +4,10 @@ The paper's introduction motivates structuredness with storage-layout and
 query-processing decisions, and its related work frames refined sorts as
 relational *property tables*.  This example closes that loop end to end:
 
-1. generate a typed RDF graph for the synthetic DBpedia Persons data;
-2. compute a k = 2 Cov refinement (the alive / dead split);
+1. open a :class:`~repro.api.Dataset` over a typed RDF graph for the
+   synthetic DBpedia Persons data, restricted to the persons sort;
+2. compute a k = 2 Cov refinement (the alive / dead split) through a
+   session;
 3. materialise one property table per implicit sort;
 4. compare their NULL ratios against the single horizontal table of the
    un-refined sort, and export the tables as CSV.
@@ -15,41 +17,43 @@ Run with:  python examples/property_table_export.py [output_dir]
 
 from __future__ import annotations
 
+import os
 import sys
 import tempfile
 from pathlib import Path
 
-from repro.core import highest_theta_refinement
+from repro.api import Dataset
 from repro.datasets import dbpedia_persons_graph
 from repro.datasets.dbpedia_persons import PERSON_SORT
-from repro.functions import coverage_function
-from repro.matrix import PropertyMatrix, SignatureTable
 from repro.report import format_table
-from repro.rules import coverage as coverage_rule
 from repro.storage import PropertyTable, build_property_tables, null_ratio_report
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
 
 
 def main(output_dir: str | None = None) -> None:
     destination = Path(output_dir) if output_dir else Path(tempfile.mkdtemp(prefix="repro_tables_"))
     destination.mkdir(parents=True, exist_ok=True)
 
-    # 1. A typed RDF graph and its persons sort.
-    graph = dbpedia_persons_graph(n_subjects=2_000)
-    persons = graph.sort_subgraph(PERSON_SORT)
-    table = SignatureTable.from_graph(persons)
-    print(f"dataset: {table.n_subjects} persons, {table.n_properties} properties, "
-          f"{table.n_signatures} signatures")
+    # 1. A typed RDF graph, its persons sort, and the cached artifact chain.
+    graph = dbpedia_persons_graph(n_subjects=max(200, int(2_000 * SCALE)))
+    dataset = Dataset.from_graph(graph, sort=PERSON_SORT, name="dbpedia persons")
+    session = dataset.session()
+    info = session.info
+    print(f"dataset: {info.n_subjects} persons, {info.n_properties} properties, "
+          f"{info.n_signatures} signatures")
 
     # 2. Refine into two implicit sorts under Cov.
-    result = highest_theta_refinement(table, coverage_rule(), k=2, step=0.02)
+    result = session.refine("Cov", k=2, step=0.02)
     print(f"k = 2 Cov refinement with theta = {result.theta:.3f}")
-    print(result.refinement.summary(coverage_function()))
+    print(result.refinement.summary(session.function_for("Cov")))
 
     # 3. One property table per implicit sort.
+    persons = dataset.graph
     tables = build_property_tables(result.refinement, persons, table_prefix="dbpedia_persons")
 
     # 4. NULL-ratio report against the single horizontal table.
-    matrix = PropertyMatrix.from_graph(persons)
+    matrix = dataset.matrix
     baseline = PropertyTable(
         name="single horizontal table",
         columns=tuple(matrix.properties),

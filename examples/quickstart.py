@@ -1,30 +1,22 @@
 """Quickstart: structuredness functions and sort refinement on a tiny RDF graph.
 
-This example walks through the full pipeline on a handful of triples:
+This example walks through the full pipeline on a handful of triples,
+driving everything through the session API (:mod:`repro.api`):
 
-1. parse an RDF graph from N-Triples text;
-2. build its property-structure view M(D) and signature table;
+1. open a :class:`~repro.api.Dataset` over N-Triples text;
+2. inspect its property-structure view M(D) and signature table;
 3. evaluate the built-in structuredness functions (Cov, Sim, Dep, SymDep);
 4. define a custom structuredness rule in the text syntax;
-5. compute a sort refinement (highest θ for k = 2) with the ILP solver.
+5. compute a sort refinement (highest θ for k = 2) with the ILP solver —
+   twice, to show the session answering the repeat from its caches.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import highest_theta_refinement
-from repro.functions import (
-    coverage,
-    coverage_function,
-    dependency,
-    function_from_rule,
-    similarity,
-    symmetric_dependency,
-)
-from repro.matrix import PropertyMatrix, SignatureTable, render_signature_table
-from repro.rdf import parse_ntriples
-from repro.rules import coverage as coverage_rule
+from repro.api import Dataset
+from repro.matrix import render_signature_table
 from repro.rules import parse_rule
 
 NTRIPLES = """
@@ -44,41 +36,45 @@ NTRIPLES = """
 
 
 def main() -> None:
-    # 1. Load the graph.
-    graph = parse_ntriples(NTRIPLES, name="quickstart people")
-    print(f"loaded {len(graph)} triples about {len(graph.subjects())} subjects")
+    # 1. One handle per dataset: the graph, matrix and signature table are
+    #    built lazily and cached on the handle.
+    dataset = Dataset.from_ntriples_text(NTRIPLES, name="quickstart people")
+    session = dataset.session()
+    print(f"loaded {len(dataset.graph)} triples about {len(dataset.graph.subjects())} subjects")
 
     # 2. The property-structure view and the signature table.
-    matrix = PropertyMatrix.from_graph(graph)
-    table = SignatureTable.from_matrix(matrix)
-    print(render_signature_table(table, max_rows=8, title="\n[horizontal table view]"))
+    print(render_signature_table(dataset.table, max_rows=8, title="\n[horizontal table view]"))
 
-    # 3. Built-in structuredness functions.
-    name, birth, death = matrix.properties[3], matrix.properties[0], matrix.properties[1]
+    # 3. Built-in structuredness functions through the session.
+    birth, death = dataset.matrix.properties[0], dataset.matrix.properties[1]
     print("\n[structuredness of the whole dataset]")
-    print(f"  Cov                      = {coverage(table):.3f}")
-    print(f"  Sim                      = {similarity(table):.3f}")
-    print(f"  Dep[birthDate, deathDate]    = {dependency(table, birth, death):.3f}")
-    print(f"  SymDep[birthDate, deathDate] = {symmetric_dependency(table, birth, death):.3f}")
+    print(f"  Cov                      = {session.evaluate('Cov').value:.3f}")
+    print(f"  Sim                      = {session.evaluate('Sim').value:.3f}")
+    print(f"  Dep[birthDate, deathDate]    = {session.dependency(birth, death).value:.3f}")
+    print(f"  SymDep[birthDate, deathDate] = {session.dependency(birth, death, symmetric=True).value:.3f}")
 
     # 4. A custom rule in the concrete syntax: "if a subject has any property
     #    at all, it should have a birthDate".
     custom = parse_rule(f"c1 = c1 and prop(c2) = <{birth}> and subj(c2) = subj(c1) -> val(c2) = 1")
-    custom_fn = function_from_rule(custom, name="has-birthDate")
-    print(f"  custom 'has-birthDate'   = {custom_fn(table):.3f}")
+    print(f"  custom 'has-birthDate'   = {session.evaluate(custom).value:.3f}")
 
     # 5. Sort refinement: split into at most 2 implicit sorts maximising the
     #    minimum Cov value (the paper's "highest theta for fixed k" setting).
-    result = highest_theta_refinement(table, coverage_rule(), k=2, step=0.05)
+    result = session.refine("Cov", k=2, step=0.05)
     print(f"\n[sort refinement under Cov, k = 2] highest theta = {result.theta:.3f}")
-    print(result.refinement.summary(coverage_function()))
+    print(result.refinement.summary(session.function_for("Cov")))
     for implicit_sort in result.refinement.sorts:
         members = sorted(
             subject.local_name
             for signature in implicit_sort.signatures
-            for subject in table.members_of(signature)
+            for subject in dataset.table.members_of(signature)
         )
         print(f"  sort {implicit_sort.index + 1} members: {', '.join(members)}")
+
+    # The same request again is answered from the session's result cache —
+    # zero additional solver calls.
+    again = session.refine("Cov", k=2, step=0.05)
+    print(f"\n[repeat request] cached = {again.cached}, session stats = {session.stats}")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,8 @@
 For a sample of synthetic YAGO-like explicit sorts this script:
 
 * solves a highest-θ (k = 2) refinement for every sort with the MILP
-  backend, recording the wall-clock time;
+  backend (one :class:`~repro.api.Dataset` handle and session per sort),
+  recording the wall-clock time;
 * fits the runtime against the number of signatures (power law) and the
   number of properties (exponential), as the paper does;
 * compares the exact ILP result against the greedy agglomerative baseline
@@ -14,25 +15,32 @@ Run with:  python examples/scalability_study.py
 
 from __future__ import annotations
 
+import os
 import time
 
-from repro.core import GreedyRefiner, highest_theta_refinement
+from repro.api import Dataset
+from repro.core import GreedyRefiner
 from repro.datasets import yago_sort_sample
 from repro.experiments import fit_exponential, fit_power_law
 from repro.functions import coverage_function
 from repro.report import format_table
-from repro.rules import coverage
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
 
 
 def main() -> None:
-    sample = yago_sort_sample(n_sorts=12, seed=23, max_signatures=30, max_properties=14)
-    cov_rule, cov_fn = coverage(), coverage_function()
+    sample = yago_sort_sample(
+        n_sorts=max(4, int(12 * SCALE)),
+        seed=23,
+        max_signatures=max(10, int(30 * SCALE)),
+        max_properties=max(6, int(14 * SCALE)),
+    )
+    cov_fn = coverage_function()
     rows = []
     for table in sample:
+        session = Dataset.from_table(table).session(solver_time_limit=20)
         started = time.perf_counter()
-        exact = highest_theta_refinement(
-            table, cov_rule, k=2, step=0.05, max_probes=6, solver_time_limit=20
-        )
+        exact = session.refine("Cov", k=2, step=0.05, max_probes=6)
         ilp_time = time.perf_counter() - started
 
         started = time.perf_counter()

@@ -4,6 +4,11 @@ Kementsietsidis, Srinivas — VLDB 2014).
 
 The package provides:
 
+* the session-oriented public API (:mod:`repro.api`): a :class:`Dataset`
+  handle owning the cached graph → matrix → signature-table chain and a
+  :class:`StructurednessSession` answering evaluate/refine/lowest-k/sweep
+  queries against it — the entry point every frontend (CLI, experiments,
+  examples) is built on;
 * an RDF substrate (:mod:`repro.rdf`): triples, an indexed in-memory graph,
   N-Triples I/O and sort extraction;
 * the property-structure view and signature tables (:mod:`repro.matrix`);
@@ -12,8 +17,8 @@ The package provides:
   signature-level counting;
 * closed-form structuredness functions (:mod:`repro.functions`):
   σCov, σSim, σDep, σSymDep;
-* an ILP modelling layer with HiGHS and branch-and-bound backends
-  (:mod:`repro.ilp`);
+* an ILP modelling layer with a pluggable solver registry — HiGHS and
+  branch-and-bound backends ship built in (:mod:`repro.ilp`);
 * the sort-refinement core (:mod:`repro.core`): the ILP encoding, the
   decision procedure, highest-θ / lowest-k searches and a greedy baseline;
 * the NP-hardness reduction from 3-coloring (:mod:`repro.reduction`);
@@ -23,16 +28,22 @@ The package provides:
 
 Quickstart
 ----------
->>> from repro.datasets import dbpedia_persons_table
->>> from repro.functions import coverage, similarity
->>> from repro.rules import coverage as coverage_rule
->>> from repro.core import highest_theta_refinement
->>> persons = dbpedia_persons_table(n_subjects=5_000)
->>> coverage(persons), similarity(persons)      # doctest: +SKIP
+>>> from repro.api import Dataset
+>>> dataset = Dataset.builtin("dbpedia-persons", n_subjects=5_000)
+>>> session = dataset.session(solver="highs")
+>>> session.evaluate("Cov").value, session.evaluate("Sim").value  # doctest: +SKIP
 (0.54, 0.78)
->>> result = highest_theta_refinement(persons, coverage_rule(), k=2)  # doctest: +SKIP
->>> result.refinement.sizes                     # doctest: +SKIP
-(3301, 1699)
+>>> result = session.refine("Cov", k=2)                           # doctest: +SKIP
+>>> result.theta, [s.n_subjects for s in result.sorts]            # doctest: +SKIP
+(0.75, (3301, 1699))
+>>> session.lowest_k("Cov", theta="3/4").k                        # doctest: +SKIP
+2
+>>> result.to_json()                                              # doctest: +SKIP
+'{"dataset": ..., "rule": "Cov", "kind": "highest_theta", ...}'
+
+The lower-level free functions (:func:`repro.core.highest_theta_refinement`,
+:func:`repro.functions.coverage`, ...) remain available underneath the
+facade.
 """
 
 from repro.exceptions import (
@@ -44,10 +55,18 @@ from repro.exceptions import (
     RDFError,
     RefinementError,
     ReproError,
+    RequestError,
     RuleError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Top-level conveniences resolved lazily so that ``import repro`` stays
+#: lightweight (the api package pulls in numpy/scipy-backed layers).
+_LAZY_EXPORTS = {
+    "Dataset": "repro.api",
+    "StructurednessSession": "repro.api",
+}
 
 __all__ = [
     "__version__",
@@ -60,4 +79,16 @@ __all__ = [
     "InfeasibleError",
     "RefinementError",
     "DatasetError",
+    "RequestError",
+    "Dataset",
+    "StructurednessSession",
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,65 @@
+"""The session-oriented public API: the single entry point for frontends.
+
+The paper's workload is many queries over one dataset.  This package gives
+that shape a first-class surface:
+
+>>> from repro.api import Dataset
+>>> dataset = Dataset.builtin("dbpedia-persons", n_subjects=20_000)
+>>> session = dataset.session(solver="highs", solver_time_limit=60.0)
+>>> session.evaluate("Cov").value                          # doctest: +SKIP
+0.54
+>>> result = session.refine("Cov", k=2, step=0.05)         # doctest: +SKIP
+>>> result.theta, [s.n_subjects for s in result.sorts]     # doctest: +SKIP
+(0.75, [13345, 6655])
+>>> result.to_json()                                       # doctest: +SKIP
+'{"dataset": {...}, "rule": "Cov", "kind": "highest_theta", ...}'
+
+The :class:`Dataset` handle owns the cached graph → matrix → signature
+table chain; the :class:`StructurednessSession` owns per-rule encoders,
+the solver binding (any backend registered in :mod:`repro.ilp.registry`)
+and a result cache, so repeated ``refine``/``sweep`` calls amortise all
+derived state.  The CLI, the experiment harness and the examples are all
+built on this facade; the older free functions
+(:func:`repro.core.highest_theta_refinement`, ...) remain as the
+lower-level library surface underneath it.
+"""
+
+from repro.api.dataset import Dataset, builtin_dataset_names, register_builtin_dataset
+from repro.api.requests import (
+    EvaluateRequest,
+    LowestKRequest,
+    RefineRequest,
+    RuleSpec,
+    SweepRequest,
+    ThetaSpec,
+    parse_theta,
+)
+from repro.api.results import (
+    DatasetInfo,
+    EvaluationResult,
+    RefinementResult,
+    SortSummary,
+    SweepResult,
+)
+from repro.api.session import StructurednessSession, named_rules, resolve_rule
+
+__all__ = [
+    "Dataset",
+    "StructurednessSession",
+    "builtin_dataset_names",
+    "register_builtin_dataset",
+    "named_rules",
+    "resolve_rule",
+    "parse_theta",
+    "RuleSpec",
+    "ThetaSpec",
+    "EvaluateRequest",
+    "RefineRequest",
+    "LowestKRequest",
+    "SweepRequest",
+    "DatasetInfo",
+    "EvaluationResult",
+    "SortSummary",
+    "RefinementResult",
+    "SweepResult",
+]

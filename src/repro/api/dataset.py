@@ -1,0 +1,287 @@
+"""The :class:`Dataset` handle: one long-lived object per dataset.
+
+The paper's workload is many queries over one dataset — evaluate several
+structuredness rules, then sweep k and θ refinements over the same
+signature table.  ``Dataset`` owns the cached artifact chain
+
+    RDF graph  →  property matrix M(D)  →  signature table  →  (per-rule
+    counting views and incremental sweep state, via the caches keyed on
+    the table's identity)
+
+so every frontend (CLI, experiments, examples, a future service) amortises
+the expensive builds instead of re-deriving them per call.  Each stage is
+built at most once; ``stats`` counts the builds so tests can prove it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import DatasetError
+from repro.api.results import DatasetInfo
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.graph import RDFGraph
+from repro.rdf.ntriples import load_ntriples, parse_ntriples
+
+__all__ = [
+    "Dataset",
+    "builtin_dataset_names",
+    "register_builtin_dataset",
+]
+
+#: name -> factory returning a SignatureTable (or an RDFGraph); factories
+#: take the generator's keyword parameters (n_subjects, seed, ...).
+_BUILTIN_DATASETS: Dict[str, Callable[..., object]] = {}
+
+
+def register_builtin_dataset(name: str, factory: Callable[..., object]) -> None:
+    """Register a named dataset factory for :meth:`Dataset.builtin`."""
+    _BUILTIN_DATASETS[name] = factory
+
+
+def builtin_dataset_names() -> tuple:
+    """The registered built-in dataset names, sorted."""
+    return tuple(sorted(_BUILTIN_DATASETS))
+
+
+def _register_default_builtins() -> None:
+    from repro.datasets import (
+        dbpedia_persons_table,
+        mixed_drug_companies_and_sultans,
+        wordnet_nouns_table,
+    )
+
+    register_builtin_dataset("dbpedia-persons", dbpedia_persons_table)
+    register_builtin_dataset("wordnet-nouns", wordnet_nouns_table)
+    register_builtin_dataset(
+        "mixed-drug-sultans",
+        lambda **params: mixed_drug_companies_and_sultans(**params).table,
+    )
+
+
+class Dataset:
+    """A handle over one dataset's cached graph/matrix/signature-table chain.
+
+    Construct through the classmethods (``from_ntriples``, ``builtin``,
+    ``from_graph``, ``from_matrix``, ``from_table``); the positional
+    constructor is internal.  Accessing ``graph`` / ``matrix`` / ``table``
+    builds the corresponding stage once and caches it for the lifetime of
+    the handle.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        graph: Optional[RDFGraph] = None,
+        matrix: Optional[PropertyMatrix] = None,
+        table: Optional[SignatureTable] = None,
+        graph_factory: Optional[Callable[[], RDFGraph]] = None,
+        artifact_factory: Optional[Callable[[], object]] = None,
+    ):
+        if (
+            graph is None
+            and matrix is None
+            and table is None
+            and graph_factory is None
+            and artifact_factory is None
+        ):
+            raise DatasetError("a Dataset needs a graph, matrix, table or a factory for one")
+        self._name = name
+        self._graph = graph
+        self._matrix = matrix
+        self._table = table
+        self._graph_factory = graph_factory
+        # A deferred generator producing either a SignatureTable or an
+        # RDFGraph (Dataset.builtin); run at most once, on first access.
+        self._artifact_factory = artifact_factory
+        #: How many times each stage of the chain was actually built.
+        self.stats: Dict[str, int] = {"graph_builds": 0, "matrix_builds": 0, "table_builds": 0}
+
+    def _realise_artifact(self) -> None:
+        """Run the deferred artifact factory (once) and slot its product in."""
+        if self._artifact_factory is None:
+            return
+        factory, self._artifact_factory = self._artifact_factory, None
+        artifact = factory()
+        if isinstance(artifact, SignatureTable):
+            self._table = artifact
+            self.stats["table_builds"] += 1
+        elif isinstance(artifact, RDFGraph):
+            self._graph = artifact
+            self.stats["graph_builds"] += 1
+        else:
+            raise DatasetError(
+                f"the factory for dataset {self._name!r} must return a SignatureTable "
+                f"or RDFGraph, got {type(artifact).__name__}"
+            )
+        # Prefer the artifact's own display name (e.g. the synthetic
+        # generators' descriptive names) over the registry key.
+        self._name = getattr(artifact, "name", "") or self._name
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_ntriples(cls, path: object, name: str = "", sort: Optional[object] = None) -> "Dataset":
+        """A dataset read lazily from an N-Triples file.
+
+        ``sort`` optionally restricts the graph to the subjects declared of
+        that ``rdf:type`` (like the CLI's ``--sort``).
+        """
+
+        def build() -> RDFGraph:
+            graph = load_ntriples(path, name=name or str(path))
+            return graph.sort_subgraph(sort) if sort else graph
+
+        return cls(name=name or str(path), graph_factory=build)
+
+    @classmethod
+    def from_ntriples_text(cls, text: str, name: str = "", sort: Optional[object] = None) -> "Dataset":
+        """A dataset parsed lazily from N-Triples source text."""
+
+        def build() -> RDFGraph:
+            graph = parse_ntriples(text, name=name)
+            return graph.sort_subgraph(sort) if sort else graph
+
+        return cls(name=name, graph_factory=build)
+
+    @classmethod
+    def builtin(cls, name: str, **params) -> "Dataset":
+        """One of the built-in synthetic datasets, by name.
+
+        See :func:`builtin_dataset_names`; ``params`` are forwarded to the
+        generator (``n_subjects``, ``seed``, ``max_signatures``, ...).
+        Generation is deferred like every other stage of the chain: the
+        factory runs on first ``graph``/``matrix``/``table`` access and is
+        counted in ``stats``.
+        """
+        try:
+            factory = _BUILTIN_DATASETS[name]
+        except KeyError:
+            known = ", ".join(builtin_dataset_names()) or "(none)"
+            raise DatasetError(f"unknown built-in dataset {name!r}; available: {known}") from None
+        return cls(name=name, artifact_factory=lambda: factory(**params))
+
+    @classmethod
+    def from_graph(cls, graph: RDFGraph, name: str = "", sort: Optional[object] = None) -> "Dataset":
+        """Wrap an existing :class:`RDFGraph` (optionally one rdf:type sort of it)."""
+        if sort:
+            return cls(
+                name=name or graph.name, graph_factory=lambda: graph.sort_subgraph(sort)
+            )
+        return cls(name=name or graph.name, graph=graph)
+
+    @classmethod
+    def from_matrix(cls, matrix: PropertyMatrix, name: str = "") -> "Dataset":
+        """Wrap an existing property matrix M(D)."""
+        return cls(name=name or matrix.name, matrix=matrix)
+
+    @classmethod
+    def from_table(cls, table: SignatureTable, name: str = "") -> "Dataset":
+        """Wrap an existing signature table."""
+        return cls(name=name or table.name, table=table)
+
+    # ------------------------------------------------------------------ #
+    # The cached artifact chain
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def graph(self) -> RDFGraph:
+        """The RDF graph (built once; unavailable for table/matrix-born datasets)."""
+        if self._graph is None:
+            self._realise_artifact()
+        if self._graph is None:
+            if self._graph_factory is None:
+                raise DatasetError(
+                    f"dataset {self._name!r} was constructed without an RDF graph; "
+                    "only its matrix/signature-table views are available"
+                )
+            self._graph = self._graph_factory()
+            self.stats["graph_builds"] += 1
+        return self._graph
+
+    @property
+    def matrix(self) -> PropertyMatrix:
+        """The property-structure view M(D) (built once from the graph)."""
+        if self._matrix is None:
+            if self._table is None:
+                self._realise_artifact()
+            if self._table is not None and self._graph is None and self._graph_factory is None:
+                raise DatasetError(
+                    f"dataset {self._name!r} was constructed from a signature table; "
+                    "the per-subject property matrix is not available"
+                )
+            self._matrix = PropertyMatrix.from_graph(self.graph)
+            self.stats["matrix_builds"] += 1
+        return self._matrix
+
+    @property
+    def table(self) -> SignatureTable:
+        """The signature table (built once from the matrix or graph)."""
+        if self._table is None:
+            self._realise_artifact()
+        if self._table is None:
+            if self._matrix is not None:
+                self._table = SignatureTable.from_matrix(self._matrix)
+            else:
+                self._table = SignatureTable.from_matrix(self.matrix)
+            self.stats["table_builds"] += 1
+        return self._table
+
+    @property
+    def info(self) -> DatasetInfo:
+        """Serialisable identifying statistics (forces the table build)."""
+        table = self.table
+        return DatasetInfo(
+            name=self._name or table.name,
+            n_subjects=table.n_subjects,
+            n_properties=table.n_properties,
+            n_signatures=table.n_signatures,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived datasets and sessions
+    # ------------------------------------------------------------------ #
+    def with_sort(self, sort: object, name: str = "") -> "Dataset":
+        """A new handle restricted to the subjects of one explicit sort."""
+        return Dataset(
+            name=name or f"{self._name} [{sort}]",
+            graph_factory=lambda: self.graph.sort_subgraph(sort),
+        )
+
+    def folded(self, max_signatures: int, name: str = "") -> "Dataset":
+        """A new handle whose signature tail is folded to ``max_signatures``.
+
+        Uses :func:`repro.datasets.cap_signatures`; the experiments fold the
+        σSim tables this way to keep the quadratic encoding tractable.
+        """
+        from repro.datasets import cap_signatures
+
+        table = cap_signatures(self.table, max_signatures)
+        return Dataset(name=name or f"{self._name} (<= {max_signatures} signatures)", table=table)
+
+    def session(self, **options) -> "StructurednessSession":
+        """Open a :class:`~repro.api.session.StructurednessSession` over this dataset."""
+        from repro.api.session import StructurednessSession
+
+        return StructurednessSession(self, **options)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stages = [
+            stage
+            for stage, value in (
+                ("graph", self._graph),
+                ("matrix", self._matrix),
+                ("table", self._table),
+            )
+            if value is not None
+        ]
+        return f"<Dataset {self._name!r} cached={stages}>"
+
+
+_register_default_builtins()

@@ -1,0 +1,160 @@
+"""Typed request objects for the session API.
+
+Every :class:`~repro.api.session.StructurednessSession` method accepts
+either loose keyword arguments or one of these frozen dataclasses; the
+dataclass is the canonical form — keyword arguments are normalised into it
+and validated in one place.  Because requests are hashable value objects,
+the session also uses them as keys of its result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Optional, Tuple, Union
+
+from repro.exceptions import RequestError
+from repro.rules.ast import Rule
+
+__all__ = [
+    "RuleSpec",
+    "ThetaSpec",
+    "parse_theta",
+    "EvaluateRequest",
+    "RefineRequest",
+    "LowestKRequest",
+    "SweepRequest",
+]
+
+#: What session methods accept as a rule: a built-in name ("Cov", "Sim"),
+#: rule text in the concrete syntax, or a parsed :class:`Rule`.
+RuleSpec = Union[str, Rule]
+
+#: What session methods accept as a threshold: a float, an exact fraction,
+#: or a string such as ``"0.9"`` or ``"3/4"``.
+ThetaSpec = Union[float, Fraction, str]
+
+
+def parse_theta(value: ThetaSpec) -> Fraction:
+    """Parse a threshold and check it lies in ``[0, 1]``.
+
+    Accepts floats, :class:`~fractions.Fraction` instances and strings in
+    either decimal (``"0.9"``) or fraction (``"3/4"``) notation.  Raises
+    :class:`~repro.exceptions.RequestError` with a readable message on
+    malformed input or a value outside ``[0, 1]``.
+    """
+    try:
+        if isinstance(value, str):
+            theta = Fraction(value.strip())
+        elif isinstance(value, (int, Fraction)):
+            theta = Fraction(value)
+        elif isinstance(value, float):
+            # Same float semantics as repro.core.encoder.to_fraction: 0.9
+            # means 9/10, not its binary approximation.
+            theta = Fraction(value).limit_denominator(10_000)
+        else:
+            raise TypeError(type(value).__name__)
+    except (ValueError, ZeroDivisionError, TypeError):
+        raise RequestError(
+            f"theta must be a number or a fraction string such as '0.9' or '3/4', got {value!r}"
+        ) from None
+    if not Fraction(0) <= theta <= Fraction(1):
+        raise RequestError(f"theta must lie in [0, 1], got {value!r} = {float(theta):g}")
+    return theta
+
+
+def _check_positive_int(value: object, what: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise RequestError(f"{what} must be a positive integer, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """Evaluate σ_r of the whole dataset for one rule."""
+
+    rule: RuleSpec = "Cov"
+    #: Also report the exact value as a ``"numerator/denominator"`` string.
+    exact: bool = False
+
+    def validated(self) -> "EvaluateRequest":
+        if not isinstance(self.rule, (str, Rule)):
+            raise RequestError(f"rule must be a name, rule text or Rule, got {self.rule!r}")
+        return self
+
+
+@dataclass(frozen=True)
+class RefineRequest:
+    """Highest-θ sort refinement for a fixed number of implicit sorts ``k``."""
+
+    rule: RuleSpec = "Cov"
+    k: int = 2
+    step: ThetaSpec = Fraction(1, 100)
+    initial_theta: Optional[ThetaSpec] = None
+    max_probes: int = 200
+    use_incremental: bool = True
+    witness_skip: bool = True
+
+    def validated(self) -> "RefineRequest":
+        _check_positive_int(self.k, "k")
+        _check_positive_int(self.max_probes, "max_probes")
+        step = parse_theta(self.step)
+        if step == 0:
+            raise RequestError("the theta search step must be positive")
+        initial = None if self.initial_theta is None else parse_theta(self.initial_theta)
+        return replace(self, step=step, initial_theta=initial)
+
+
+@dataclass(frozen=True)
+class LowestKRequest:
+    """Lowest ``k`` admitting a refinement with a fixed threshold θ."""
+
+    rule: RuleSpec = "Cov"
+    theta: ThetaSpec = Fraction(9, 10)
+    direction: str = "auto"
+    k_min: int = 1
+    k_max: Optional[int] = None
+    use_incremental: bool = True
+    witness_skip: bool = True
+
+    def validated(self) -> "LowestKRequest":
+        theta = parse_theta(self.theta)
+        if self.direction not in ("up", "down", "auto"):
+            raise RequestError(
+                f"direction must be 'up', 'down' or 'auto', got {self.direction!r}"
+            )
+        _check_positive_int(self.k_min, "k_min")
+        if self.k_max is not None:
+            _check_positive_int(self.k_max, "k_max")
+            if self.k_max < self.k_min:
+                raise RequestError(f"invalid k range [{self.k_min}, {self.k_max}]")
+        return replace(self, theta=theta)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Highest-θ refinements for a whole range of ``k`` values.
+
+    The session runs the ``k`` values through *one* shared encoder, so the
+    per-sort constraint blocks and case coefficients are built once and the
+    sweep state moves incrementally from one ``k`` to the next.
+    """
+
+    rule: RuleSpec = "Cov"
+    k_values: Tuple[int, ...] = field(default=(2, 3, 4))
+    step: ThetaSpec = Fraction(1, 100)
+    max_probes: int = 200
+    use_incremental: bool = True
+    witness_skip: bool = True
+
+    def validated(self) -> "SweepRequest":
+        values = tuple(self.k_values)
+        if not values:
+            raise RequestError("k_values must name at least one k")
+        for k in values:
+            _check_positive_int(k, "every k in k_values")
+        step = parse_theta(self.step)
+        if step == 0:
+            raise RequestError("the theta search step must be positive")
+        _check_positive_int(self.max_probes, "max_probes")
+        return replace(self, k_values=values, step=step)

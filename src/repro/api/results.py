@@ -1,0 +1,156 @@
+"""Typed result objects returned by the session API.
+
+Each result is a dataclass with a ``to_dict()`` that contains only
+JSON-serialisable scalars/lists (``to_json()`` is just ``json.dumps`` of
+it), plus rich non-serialised handles (the underlying
+:class:`~repro.core.refinement.SortRefinement` and
+:class:`~repro.core.search.SearchResult`) for callers that keep computing —
+the experiment harness reads per-sort tables straight off
+``RefinementResult.refinement``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.refinement import SortRefinement
+from repro.core.search import SearchResult
+
+__all__ = [
+    "DatasetInfo",
+    "EvaluationResult",
+    "SortSummary",
+    "RefinementResult",
+    "SweepResult",
+]
+
+
+class _JsonResult:
+    """Shared ``to_json`` plumbing; subclasses implement ``to_dict``."""
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The result as a JSON document (see ``to_dict`` for the schema)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_dict(self) -> Dict[str, object]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DatasetInfo(_JsonResult):
+    """Identifying statistics of the dataset a result was computed on."""
+
+    name: str
+    n_subjects: int
+    n_properties: int
+    n_signatures: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "n_subjects": self.n_subjects,
+            "n_properties": self.n_properties,
+            "n_signatures": self.n_signatures,
+        }
+
+
+@dataclass(frozen=True)
+class EvaluationResult(_JsonResult):
+    """σ_r of a whole dataset under one rule."""
+
+    dataset: DatasetInfo
+    rule: str
+    value: float
+    #: ``"numerator/denominator"`` when the request asked for the exact value.
+    exact: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "dataset": self.dataset.to_dict(),
+            "rule": self.rule,
+            "value": self.value,
+        }
+        if self.exact is not None:
+            payload["exact"] = self.exact
+        return payload
+
+
+@dataclass(frozen=True)
+class SortSummary(_JsonResult):
+    """One implicit sort of a refinement, reduced to serialisable facts."""
+
+    index: int
+    n_subjects: int
+    n_signatures: int
+    sigma: float
+    properties_used: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "n_subjects": self.n_subjects,
+            "n_signatures": self.n_signatures,
+            "sigma": self.sigma,
+            "properties_used": list(self.properties_used),
+        }
+
+
+@dataclass(frozen=True)
+class RefinementResult(_JsonResult):
+    """The outcome of a ``refine`` / ``lowest_k`` session call.
+
+    ``refinement`` and ``search`` are the full in-memory artifacts;
+    ``to_dict`` deliberately omits them.  ``cached`` is ``True`` when the
+    session answered the call from its result cache without touching the
+    solver.
+    """
+
+    dataset: DatasetInfo
+    rule: str
+    kind: str  # "highest_theta" | "lowest_k"
+    theta: float
+    k: int
+    n_probes: int
+    n_solver_probes: int
+    total_time: float
+    sorts: Tuple[SortSummary, ...]
+    refinement: SortRefinement = field(compare=False, repr=False)
+    search: SearchResult = field(compare=False, repr=False)
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset.to_dict(),
+            "rule": self.rule,
+            "kind": self.kind,
+            "theta": self.theta,
+            "k": self.k,
+            "n_probes": self.n_probes,
+            "n_solver_probes": self.n_solver_probes,
+            "total_time": self.total_time,
+            "cached": self.cached,
+            "sorts": [sort.to_dict() for sort in self.sorts],
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult(_JsonResult):
+    """Highest-θ refinements across a range of ``k`` values."""
+
+    dataset: DatasetInfo
+    rule: str
+    entries: Tuple[RefinementResult, ...]
+
+    @property
+    def thetas(self) -> List[float]:
+        """The achieved θ per swept ``k``, in request order."""
+        return [entry.theta for entry in self.entries]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset.to_dict(),
+            "rule": self.rule,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }

@@ -7,7 +7,9 @@ hashing, so a ``WeakKeyDictionary`` cannot hold them; and a plain
 ``id()``-keyed dict is unsafe because CPython reuses addresses after
 garbage collection.  :class:`IdentityWeakCache` combines both: entries are
 keyed by ``id()``, guarded by a weak reference that (a) detects address
-reuse by identity check and (b) evicts the entry when the key object dies.
+reuse by identity check and (b) evicts the entry as soon as the key object
+dies, via the weakref's finalizer callback — dead keys never linger until
+the next probe of the same address.
 """
 
 from __future__ import annotations
@@ -25,7 +27,8 @@ class IdentityWeakCache(Generic[K, V]):
     """A cache mapping *object identity* to a derived value.
 
     The key object must be weak-referenceable.  Values are held strongly
-    until the key object is garbage collected.
+    until the key object is garbage collected, at which point the entry is
+    evicted immediately by the weakref callback.
     """
 
     __slots__ = ("_entries",)
@@ -47,8 +50,13 @@ class IdentityWeakCache(Generic[K, V]):
         """Cache ``value`` under the identity of ``key``; return ``value``."""
         key_id = id(key)
 
-        def _evict(_ref: object, key_id: int = key_id) -> None:
-            self._entries.pop(key_id, None)
+        def _evict(ref: weakref.ref, key_id: int = key_id) -> None:
+            # Only drop the entry this dying reference belongs to: the slot
+            # may have been overwritten for a newer object that was handed
+            # the same address, and that entry must survive.
+            entry = self._entries.get(key_id)
+            if entry is not None and entry[0] is ref:
+                del self._entries[key_id]
 
         self._entries[key_id] = (weakref.ref(key, _evict), value)
         return value
@@ -59,6 +67,23 @@ class IdentityWeakCache(Generic[K, V]):
         if value is None:
             value = self.set(key, factory(key))
         return value
+
+    def prune(self) -> int:
+        """Drop any entries whose key object has died; return how many.
+
+        The weakref callbacks normally keep the cache tight on their own;
+        ``prune`` exists as a belt-and-braces sweep (and for tests that
+        want to assert the steady state without relying on callback
+        ordering).
+        """
+        dead = [key_id for key_id, (ref, _) in self._entries.items() if ref() is None]
+        for key_id in dead:
+            self._entries.pop(key_id, None)
+        return len(dead)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

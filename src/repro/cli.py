@@ -1,18 +1,27 @@
 """Command-line interface.
 
+All commands are thin frontends over the session API
+(:mod:`repro.api`): each invocation opens a :class:`~repro.api.Dataset`
+handle, runs the query through a :class:`~repro.api.StructurednessSession`
+and renders the typed result — as text by default, as JSON with ``--json``.
+
 Examples
 --------
 Evaluate structuredness functions on an N-Triples file::
 
     repro evaluate data.nt --sort http://xmlns.com/foaf/0.1/Person
 
-Evaluate a custom rule::
+Evaluate a custom rule, machine-readably::
 
-    repro evaluate data.nt --rule "c = c -> val(c) = 1"
+    repro evaluate data.nt --rule "c = c -> val(c) = 1" --json
 
 Find the highest-θ refinement with k sorts::
 
     repro refine data.nt --rule-name Cov -k 2
+
+Find the lowest k for a threshold given as a fraction::
+
+    repro refine data.nt --theta 3/4 --solver highs
 
 Run a paper experiment::
 
@@ -28,22 +37,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from fractions import Fraction
 from typing import Dict, List, Optional
 
-from repro.functions import (
-    coverage,
-    coverage_function,
-    function_from_rule,
-    similarity,
-    similarity_function,
-)
+from repro.api import Dataset, StructurednessSession, parse_theta
+from repro.exceptions import RequestError
+from repro.ilp.registry import DEFAULT_SOLVER, solver_names
 from repro.matrix.horizontal import render_signature_table
-from repro.matrix.signatures import SignatureTable
-from repro.rdf.ntriples import load_ntriples
-from repro.rules import coverage as coverage_rule
-from repro.rules import similarity as similarity_rule
 from repro.rules.parser import parse_rule
-from repro.core.search import highest_theta_refinement, lowest_k_refinement
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--sort", help="restrict to subjects declared of this rdf:type")
     evaluate.add_argument("--rule", help="a rule in the concrete syntax (default: report Cov and Sim)")
     evaluate.add_argument("--figure", action="store_true", help="also print the signature-view figure")
+    evaluate.add_argument("--json", action="store_true", help="emit the result as JSON")
 
     refine = subparsers.add_parser("refine", help="compute a sort refinement of an N-Triples file")
     refine.add_argument("path", help="path to an N-Triples file")
@@ -70,9 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--rule-name", choices=["Cov", "Sim"], default="Cov", help="a built-in rule (ignored when --rule is given)"
     )
     refine.add_argument("-k", type=int, default=None, help="fixed k: search for the highest theta")
-    refine.add_argument("--theta", type=float, default=None, help="fixed theta: search for the lowest k")
+    refine.add_argument(
+        "--theta",
+        default=None,
+        help="fixed theta: search for the lowest k; accepts decimals or fractions, e.g. 0.9 or 3/4",
+    )
     refine.add_argument("--step", type=float, default=0.01, help="theta search step (default 0.01)")
     refine.add_argument("--time-limit", type=float, default=120.0, help="per-ILP time limit in seconds")
+    refine.add_argument(
+        "--solver",
+        default=DEFAULT_SOLVER,
+        choices=list(solver_names()),
+        help=f"MILP backend (default {DEFAULT_SOLVER!r})",
+    )
+    refine.add_argument("--json", action="store_true", help="emit the result as JSON")
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("experiment_id", nargs="?", help="experiment id (see --list)")
@@ -83,14 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         help="experiment parameter override, e.g. --param n_subjects=5000 (repeatable)",
     )
+    experiment.add_argument("--json", action="store_true", help="emit the result as JSON")
     return parser
 
 
-def _load_table(path: str, sort: Optional[str]) -> SignatureTable:
-    graph = load_ntriples(path)
-    if sort:
-        graph = graph.sort_subgraph(sort)
-    return SignatureTable.from_graph(graph)
+def _open_session(args: argparse.Namespace, **options) -> StructurednessSession:
+    dataset = Dataset.from_ntriples(args.path, sort=args.sort)
+    return dataset.session(**options)
 
 
 def _parse_params(raw: List[str]) -> Dict[str, object]:
@@ -114,47 +126,67 @@ def _parse_params(raw: List[str]) -> Dict[str, object]:
     return params
 
 
+def _parse_theta_arg(raw: str) -> Fraction:
+    try:
+        return parse_theta(raw)
+    except RequestError as error:
+        raise SystemExit(f"--theta: {error}")
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
-    table = _load_table(args.path, args.sort)
+    session = _open_session(args)
+    table = session.dataset.table
+    results = [session.evaluate(parse_rule(args.rule))] if args.rule else [
+        session.evaluate("Cov"),
+        session.evaluate("Sim"),
+    ]
+    if args.json:
+        import json
+
+        payload = {"dataset": session.info.to_dict(), "results": [r.to_dict() for r in results]}
+        print(json.dumps(payload, indent=2))
+        return 0
+    info = session.info
     print(
-        f"{table.name or args.path}: {table.n_subjects} subjects, "
-        f"{table.n_properties} properties, {table.n_signatures} signatures"
+        f"{info.name or args.path}: {info.n_subjects} subjects, "
+        f"{info.n_properties} properties, {info.n_signatures} signatures"
     )
     if args.rule:
-        rule = parse_rule(args.rule)
-        value = function_from_rule(rule)(table)
-        print(f"sigma[{args.rule}] = {value:.4f}")
+        print(f"sigma[{args.rule}] = {results[0].value:.4f}")
     else:
-        print(f"Cov = {coverage(table):.4f}")
-        print(f"Sim = {similarity(table):.4f}")
+        for result in results:
+            print(f"{result.rule} = {result.value:.4f}")
     if args.figure:
         print(render_signature_table(table))
     return 0
 
 
 def _command_refine(args: argparse.Namespace) -> int:
-    table = _load_table(args.path, args.sort)
-    if args.rule:
-        rule = parse_rule(args.rule)
-        function = function_from_rule(rule)
-    elif args.rule_name == "Sim":
-        rule, function = similarity_rule(), similarity_function()
-    else:
-        rule, function = coverage_rule(), coverage_function()
+    session = _open_session(
+        args, solver=args.solver, solver_time_limit=args.time_limit
+    )
+    rule = parse_rule(args.rule) if args.rule else args.rule_name
 
     if (args.k is None) == (args.theta is None):
         raise SystemExit("specify exactly one of -k (highest theta) or --theta (lowest k)")
     if args.k is not None:
-        search = highest_theta_refinement(
-            table, rule, k=args.k, step=args.step, solver_time_limit=args.time_limit
+        result = session.refine(rule, k=args.k, step=args.step)
+        header = (
+            f"highest theta for k = {args.k}: {result.theta:.4f} "
+            f"({result.n_probes} ILP probes)"
         )
-        print(f"highest theta for k = {args.k}: {search.theta:.4f} ({search.n_probes} ILP probes)")
     else:
-        search = lowest_k_refinement(
-            table, rule, theta=args.theta, solver_time_limit=args.time_limit
+        theta = _parse_theta_arg(args.theta)
+        result = session.lowest_k(rule, theta=theta)
+        header = (
+            f"lowest k for theta = {float(theta):g}: {result.k} "
+            f"({result.n_probes} ILP probes)"
         )
-        print(f"lowest k for theta = {args.theta}: {search.k} ({search.n_probes} ILP probes)")
-    print(search.refinement.summary(function))
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(header)
+    print(result.refinement.summary(session.function_for(rule)))
     return 0
 
 
@@ -168,6 +200,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
         return 0
     params = _parse_params(args.param)
     result = run_experiment(args.experiment_id, **params)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
     print(result.to_text())
     return 0
 

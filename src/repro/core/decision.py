@@ -16,7 +16,7 @@ from typing import Dict, Optional, Union
 from repro.core.encoder import EncodedInstance, SortRefinementEncoder
 from repro.core.refinement import SortRefinement
 from repro.functions.structuredness import Dataset
-from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.ilp.registry import resolve_solver
 from repro.ilp.solution import Solution, SolveStatus
 from repro.rules.ast import Rule
 
@@ -82,8 +82,9 @@ def decide_sort_refinement(
     k:
         The maximum number of implicit sorts.
     solver:
-        Any object with a ``solve(model) -> Solution`` method; defaults to
-        the HiGHS backend.
+        Any object with a ``solve(model) -> Solution`` method, or a
+        registered backend name (see :mod:`repro.ilp.registry`); defaults
+        to the HiGHS backend.
     encoder:
         A pre-built encoder (lets the θ-search reuse the case coefficients
         across many thresholds).
@@ -95,8 +96,7 @@ def decide_sort_refinement(
     """
     if encoder is None:
         encoder = SortRefinementEncoder(rule)
-    if solver is None:
-        solver = ScipyMilpSolver()
+    solver = resolve_solver(solver)
     if incremental:
         instance = encoder.encode_incremental(dataset, k=k, theta=theta)
     else:

@@ -50,7 +50,7 @@ from repro.functions.structuredness import (
     as_signature_table,
     best_function_for_rule,
 )
-from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.ilp.registry import resolve_solver
 from repro.rules.ast import Rule
 from repro.rules.counting import sigma_by_signatures_fraction
 
@@ -108,10 +108,6 @@ class SearchResult:
     def n_solver_probes(self) -> int:
         """How many probes actually invoked the ILP solver."""
         return sum(1 for step in self.steps if step.status != WITNESS_STATUS)
-
-
-def _default_solver(time_limit: Optional[float]) -> ScipyMilpSolver:
-    return ScipyMilpSolver(time_limit=time_limit)
 
 
 def _exact_min_sigma(function: StructurednessFunction, refinement: SortRefinement) -> Fraction:
@@ -192,6 +188,7 @@ def highest_theta_refinement(
     callback: Optional[Callable[[SearchStep], None]] = None,
     use_incremental: bool = True,
     witness_skip: bool = True,
+    encoder: Optional[SortRefinementEncoder] = None,
 ) -> SearchResult:
     """Find (approximately) the largest θ admitting a refinement with ``k`` sorts.
 
@@ -209,9 +206,10 @@ def highest_theta_refinement(
     initial_theta:
         Explicit starting threshold; defaults to σ_r of the whole dataset.
     solver / solver_time_limit:
-        Backend configuration; a time-limited probe that fails to find a
-        witness is treated as "stop the search" but, like the paper notes,
-        this is not a proof of infeasibility.
+        Backend configuration — ``solver`` may be a registered backend name
+        (see :mod:`repro.ilp.registry`) or an instance; a time-limited probe
+        that fails to find a witness is treated as "stop the search" but,
+        like the paper notes, this is not a proof of infeasibility.
     max_probes:
         Safety cap on the number of decision probes (witness-certified
         probes count too, so the θ grid walked is the same either way).
@@ -225,11 +223,15 @@ def highest_theta_refinement(
     witness_skip:
         Skip solver calls for grid thresholds that the last witness's exact
         per-sort σ values already certify as feasible.
+    encoder:
+        A pre-built :class:`SortRefinementEncoder` for ``rule`` — the
+        session layer passes one so consecutive searches over the same
+        table share cached case coefficients and sweep state.
     """
     table = as_signature_table(dataset)
-    encoder = SortRefinementEncoder(rule)
-    if solver is None:
-        solver = _default_solver(solver_time_limit)
+    if encoder is None:
+        encoder = SortRefinementEncoder(rule)
+    solver = resolve_solver(solver, time_limit=solver_time_limit)
     if initial_theta is None:
         # Start from sigma_r(D) (always feasible via the trivial one-sort
         # refinement), floored to a 1/10000 grid so that the threshold
@@ -321,6 +323,7 @@ def lowest_k_refinement(
     callback: Optional[Callable[[SearchStep], None]] = None,
     use_incremental: bool = True,
     witness_skip: bool = True,
+    encoder: Optional[SortRefinementEncoder] = None,
 ) -> SearchResult:
     """Find the smallest ``k`` admitting a refinement with threshold ``θ``.
 
@@ -349,9 +352,9 @@ def lowest_k_refinement(
         refinement are used as initial witnesses when they certify.
     """
     table = as_signature_table(dataset)
-    encoder = SortRefinementEncoder(rule)
-    if solver is None:
-        solver = _default_solver(solver_time_limit)
+    if encoder is None:
+        encoder = SortRefinementEncoder(rule)
+    solver = resolve_solver(solver, time_limit=solver_time_limit)
     theta_fraction = to_fraction(theta)
     if k_max is None:
         k_max = table.n_signatures

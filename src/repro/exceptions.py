@@ -50,3 +50,7 @@ class RefinementError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset specification is invalid."""
+
+
+class RequestError(ReproError):
+    """Raised when a :mod:`repro.api` request object is malformed."""

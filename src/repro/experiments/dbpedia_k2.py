@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.datasets import dbpedia_persons_table
+from repro.api import Dataset
 from repro.datasets.dbpedia_persons import PERSONS_NAMESPACE
 from repro.experiments.base import ExperimentResult, register
 from repro.functions import (
@@ -30,7 +30,6 @@ from repro.functions import (
     symmetric_dependency_function,
 )
 from repro.matrix.horizontal import render_refinement
-from repro.core.search import highest_theta_refinement
 from repro.rules import coverage, similarity, symmetric_dependency
 
 __all__ = ["run_dbpedia_k2"]
@@ -67,9 +66,9 @@ def run_dbpedia_k2(
         Attach ASCII renderings of the resulting refinements.
     """
     ns = PERSONS_NAMESPACE
-    persons = dbpedia_persons_table(n_subjects=n_subjects, seed=seed)
-    persons_small = dbpedia_persons_table(
-        n_subjects=n_subjects, seed=seed, max_signatures=sim_max_signatures
+    persons = Dataset.builtin("dbpedia-persons", n_subjects=n_subjects, seed=seed)
+    persons_small = Dataset.builtin(
+        "dbpedia-persons", n_subjects=n_subjects, seed=seed, max_signatures=sim_max_signatures
     )
     cov_fn, sim_fn = coverage_function(), similarity_function()
     symdep_fn = symmetric_dependency_function(ns.deathPlace, ns.deathDate)
@@ -86,22 +85,24 @@ def run_dbpedia_k2(
         },
     )
 
-    runs = [("Cov", coverage(), persons, step)]
+    # One session per dataset handle: the Cov and SymDep runs share the
+    # persons session, so the signature table and solver binding are reused.
+    persons_session = persons.session(solver_time_limit=solver_time_limit)
+    runs = [("Cov", coverage(), persons_session, step)]
     if include_sim:
-        runs.append(("Sim", similarity(), persons_small, max(step, 0.02)))
+        small_session = persons_small.session(solver_time_limit=solver_time_limit)
+        runs.append(("Sim", similarity(), small_session, max(step, 0.02)))
     runs.append(
         (
             "SymDep[deathPlace, deathDate]",
             symmetric_dependency(ns.deathPlace, ns.deathDate),
-            persons,
+            persons_session,
             max(step, 0.02),
         )
     )
 
-    for label, rule, table, rule_step in runs:
-        search = highest_theta_refinement(
-            table, rule, k=2, step=rule_step, solver_time_limit=solver_time_limit
-        )
+    for label, rule, session, rule_step in runs:
+        search = session.refine(rule, k=2, step=rule_step)
         refinement = search.refinement
         for sort in refinement.sorts:
             row = {
@@ -124,7 +125,7 @@ def run_dbpedia_k2(
             result.figures.append(
                 render_refinement(
                     [sort.table for sort in refinement.sorts],
-                    parent_properties=table.properties,
+                    parent_properties=session.dataset.table.properties,
                     title=f"[Figure 4 / {label}: theta = {search.theta:.3f}]",
                 )
             )

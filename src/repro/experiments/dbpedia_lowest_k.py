@@ -10,11 +10,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.datasets import dbpedia_persons_table
+from repro.api import Dataset
 from repro.datasets.dbpedia_persons import PERSONS_NAMESPACE
 from repro.experiments.base import ExperimentResult, register
 from repro.functions import coverage_function, similarity_function
-from repro.core.search import lowest_k_refinement
 from repro.rules import coverage, similarity
 
 __all__ = ["run_dbpedia_lowest_k"]
@@ -60,12 +59,11 @@ def run_dbpedia_lowest_k(
 
     ns = PERSONS_NAMESPACE
     for label, rule, max_signatures, function in runs:
-        table = dbpedia_persons_table(
-            n_subjects=n_subjects, seed=seed, max_signatures=max_signatures
+        dataset = Dataset.builtin(
+            "dbpedia-persons", n_subjects=n_subjects, seed=seed, max_signatures=max_signatures
         )
-        search = lowest_k_refinement(
-            table, rule, theta=theta, direction=direction, solver_time_limit=solver_time_limit
-        )
+        session = dataset.session(solver_time_limit=solver_time_limit)
+        search = session.lowest_k(rule, theta=theta, direction=direction)
         refinement = search.refinement
         for sort in refinement.sorts:
             result.rows.append(

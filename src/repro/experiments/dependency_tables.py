@@ -17,10 +17,9 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Optional
 
-from repro.datasets import dbpedia_persons_table
+from repro.api import Dataset
 from repro.datasets.dbpedia_persons import PERSONS_NAMESPACE, PERSON_PROPERTIES
 from repro.experiments.base import ExperimentResult, register
-from repro.functions import dependency, symmetric_dependency
 
 __all__ = ["run_dependency_table", "run_symdep_ranking"]
 
@@ -49,7 +48,9 @@ PAPER_TABLE1 = {
 def run_dependency_table(n_subjects: int = 20_000, seed: int = 7) -> ExperimentResult:
     """Regenerate Table 1: σDep over the four birth/death properties."""
     ns = PERSONS_NAMESPACE
-    table = dbpedia_persons_table(n_subjects=n_subjects, seed=seed)
+    session = Dataset.builtin(
+        "dbpedia-persons", n_subjects=n_subjects, seed=seed
+    ).session()
     properties = [ns.deathPlace, ns.birthPlace, ns.deathDate, ns.birthDate]
     result = ExperimentResult(
         experiment_id="table1",
@@ -62,7 +63,7 @@ def run_dependency_table(n_subjects: int = 20_000, seed: int = 7) -> ExperimentR
     for p1 in properties:
         row: dict = {"p1": p1.local_name}
         for p2 in properties:
-            value = dependency(table, p1, p2)
+            value = session.dependency(p1, p2).value
             row[p2.local_name] = value
             row[f"{p2.local_name} (paper)"] = PAPER_TABLE1[(p1.local_name, p2.local_name)]
         result.rows.append(row)
@@ -89,10 +90,12 @@ def run_symdep_ranking(
     n_subjects: int = 20_000, seed: int = 7, top: int = 4, bottom: int = 4
 ) -> ExperimentResult:
     """Regenerate Table 2: the σSymDep ranking of DBpedia Persons property pairs."""
-    table = dbpedia_persons_table(n_subjects=n_subjects, seed=seed)
+    session = Dataset.builtin(
+        "dbpedia-persons", n_subjects=n_subjects, seed=seed
+    ).session()
     pairs = []
     for p1, p2 in combinations(PERSON_PROPERTIES, 2):
-        value = symmetric_dependency(table, p1, p2)
+        value = session.dependency(p1, p2, symmetric=True).value
         pairs.append((p1.local_name, p2.local_name, value))
     pairs.sort(key=lambda item: -item[2])
 

@@ -10,9 +10,8 @@ Reproduces, for the DBpedia Persons and WordNet Nouns stand-ins:
 
 from __future__ import annotations
 
-from repro.datasets import dbpedia_persons_table, wordnet_nouns_table
+from repro.api import Dataset
 from repro.experiments.base import ExperimentResult, register
-from repro.functions import coverage, similarity
 from repro.matrix.horizontal import render_signature_table
 
 __all__ = ["run_overview"]
@@ -42,23 +41,25 @@ def run_overview(
             "WordNet Nouns": "79,689 subjects, 12 properties, 53 signatures, Cov=0.44, Sim=0.93",
         },
     )
-    persons = dbpedia_persons_table(n_subjects=persons_subjects, seed=seed)
-    nouns = wordnet_nouns_table(n_subjects=nouns_subjects)
-    for table, paper_cov, paper_sim in ((persons, 0.54, 0.77), (nouns, 0.44, 0.93)):
+    persons = Dataset.builtin("dbpedia-persons", n_subjects=persons_subjects, seed=seed)
+    nouns = Dataset.builtin("wordnet-nouns", n_subjects=nouns_subjects)
+    for dataset, paper_cov, paper_sim in ((persons, 0.54, 0.77), (nouns, 0.44, 0.93)):
+        session = dataset.session()
+        info = session.info
         result.rows.append(
             {
-                "dataset": table.name,
-                "subjects": table.n_subjects,
-                "properties": table.n_properties,
-                "signatures": table.n_signatures,
-                "Cov": coverage(table),
+                "dataset": info.name,
+                "subjects": info.n_subjects,
+                "properties": info.n_properties,
+                "signatures": info.n_signatures,
+                "Cov": session.evaluate("Cov").value,
                 "Cov (paper)": paper_cov,
-                "Sim": similarity(table),
+                "Sim": session.evaluate("Sim").value,
                 "Sim (paper)": paper_sim,
             }
         )
         result.figures.append(
-            render_signature_table(table, max_rows=20, title=f"[{table.name}]")
+            render_signature_table(dataset.table, max_rows=20, title=f"[{info.name}]")
         )
     result.notes.append(
         "Synthetic stand-ins reproduce the signature distribution reported in the paper; "

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import networkx as nx
 
+from repro.api import Dataset
 from repro.experiments.base import ExperimentResult, register
 from repro.reduction import (
     build_reduction_matrix,
@@ -51,11 +52,15 @@ def run_reduction_check() -> ExperimentResult:
     )
     for name, graph in _graph_family():
         matrix = build_reduction_matrix(graph)
+        # The constructed D_G through the session facade: its signature
+        # table is the instance the decision procedure would refine.
+        info = Dataset.from_matrix(matrix, name=f"D_G[{name}]").info
         coloring = find_three_coloring(graph)
         row: dict = {
             "graph": name,
             "nodes": graph.number_of_nodes(),
             "matrix shape": f"{matrix.shape[0]}x{matrix.shape[1]}",
+            "signatures": info.n_signatures,
             "3-colorable": coloring is not None,
         }
         if coloring is not None:

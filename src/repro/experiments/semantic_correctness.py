@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api import Dataset
 from repro.core.refinement import SortRefinement
-from repro.core.search import highest_theta_refinement
 from repro.datasets import mixed_drug_companies_and_sultans
 from repro.datasets.mixed import MixedDataset, SYNTAX_PROPERTIES
 from repro.experiments.base import ExperimentResult, register
@@ -68,6 +68,9 @@ def run_semantic_correctness(
     dataset = mixed_drug_companies_and_sultans(
         n_drug_companies=n_drug_companies, n_sultans=n_sultans, seed=seed
     )
+    session = Dataset.from_table(dataset.table, name="Drug Companies + Sultans").session(
+        solver_time_limit=solver_time_limit
+    )
     result = ExperimentResult(
         experiment_id="semantic_correctness",
         title="Section 7.4 — recovering Drug Companies vs Sultans from a mixed dataset",
@@ -83,9 +86,7 @@ def run_semantic_correctness(
     ]
     accuracies = {}
     for label, rule in variants:
-        search = highest_theta_refinement(
-            dataset.table, rule, k=2, step=step, solver_time_limit=solver_time_limit
-        )
+        search = session.refine(rule, k=2, step=step)
         confusion = classify_refinement(search.refinement, dataset)
         accuracies[label] = confusion.accuracy
         row = {"rule": label, "theta": search.theta, "k": search.refinement.k}

@@ -18,11 +18,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.datasets import wordnet_nouns_table
+from repro.api import Dataset
 from repro.experiments.base import ExperimentResult, register
 from repro.functions import coverage_function, similarity_function
 from repro.matrix.horizontal import render_refinement
-from repro.core.search import highest_theta_refinement, lowest_k_refinement
 from repro.rdf.namespaces import WORDNET
 from repro.rules import coverage, similarity
 
@@ -49,22 +48,26 @@ def run_wordnet_k2(
             "Fig 6b (Sim)": "sorts of 7,311 / 72,378 subjects; Sim 0.98 / 0.94; the small sort lacks gloss",
         },
     )
-    runs = [("Cov", coverage(), wordnet_nouns_table(n_subjects=n_subjects, seed=seed), cov_fn)]
+    runs = [
+        ("Cov", coverage(), Dataset.builtin("wordnet-nouns", n_subjects=n_subjects, seed=seed), cov_fn)
+    ]
     if include_sim:
         runs.append(
             (
                 "Sim",
                 similarity(),
-                wordnet_nouns_table(
-                    n_subjects=n_subjects, seed=seed, max_signatures=sim_max_signatures
+                Dataset.builtin(
+                    "wordnet-nouns",
+                    n_subjects=n_subjects,
+                    seed=seed,
+                    max_signatures=sim_max_signatures,
                 ),
                 sim_fn,
             )
         )
-    for label, rule, table, function in runs:
-        search = highest_theta_refinement(
-            table, rule, k=2, step=step, solver_time_limit=solver_time_limit
-        )
+    for label, rule, dataset, function in runs:
+        session = dataset.session(solver_time_limit=solver_time_limit)
+        search = session.refine(rule, k=2, step=step)
         refinement = search.refinement
         for sort in refinement.sorts:
             result.rows.append(
@@ -84,7 +87,7 @@ def run_wordnet_k2(
             result.figures.append(
                 render_refinement(
                     [sort.table for sort in refinement.sorts],
-                    parent_properties=table.properties,
+                    parent_properties=dataset.table.properties,
                     title=f"[Figure 6 / {label}: theta = {search.theta:.3f}]",
                 )
             )
@@ -131,16 +134,12 @@ def run_wordnet_lowest_k(
     if include_sim:
         runs.append(("Sim", similarity(), sim_theta, sim_max_signatures, sim_fn, "auto"))
     for label, rule, theta, max_signatures, function, direction in runs:
-        table = wordnet_nouns_table(
-            n_subjects=n_subjects, seed=seed, max_signatures=max_signatures
+        dataset = Dataset.builtin(
+            "wordnet-nouns", n_subjects=n_subjects, seed=seed, max_signatures=max_signatures
         )
-        search = lowest_k_refinement(
-            table,
-            rule,
-            theta=theta,
-            direction=direction,
-            solver_time_limit=solver_time_limit,
-        )
+        session = dataset.session(solver_time_limit=solver_time_limit)
+        search = session.lowest_k(rule, theta=theta, direction=direction)
+        table = dataset.table
         refinement = search.refinement
         result.rows.append(
             {

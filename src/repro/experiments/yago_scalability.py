@@ -25,9 +25,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.api import Dataset
 from repro.datasets import property_histogram, signature_histogram, yago_sort_sample
 from repro.experiments.base import ExperimentResult, register
-from repro.core.search import highest_theta_refinement
 from repro.rules import coverage
 
 __all__ = ["run_yago_scalability", "fit_power_law", "fit_exponential"]
@@ -99,15 +99,9 @@ def run_yago_scalability(
     rule = coverage()
     measurements = []
     for table in tables:
+        session = Dataset.from_table(table).session(solver_time_limit=solver_time_limit)
         started = time.perf_counter()
-        search = highest_theta_refinement(
-            table,
-            rule,
-            k=2,
-            step=step,
-            solver_time_limit=solver_time_limit,
-            max_probes=max_probes,
-        )
+        search = session.refine(rule, k=2, step=step, max_probes=max_probes)
         elapsed = time.perf_counter() - started
         measurements.append(
             {

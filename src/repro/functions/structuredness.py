@@ -60,13 +60,21 @@ Dataset = Union[RDFGraph, PropertyMatrix, SignatureTable]
 
 
 def as_signature_table(dataset: Dataset) -> SignatureTable:
-    """Normalise a graph / matrix / signature table to a signature table."""
+    """Normalise a graph / matrix / signature table to a signature table.
+
+    Objects exposing a ``table`` attribute holding a signature table — the
+    :class:`repro.api.Dataset` handle, :class:`~repro.datasets.MixedDataset`
+    — are accepted too, so the free functions compose with the session API.
+    """
     if isinstance(dataset, SignatureTable):
         return dataset
     if isinstance(dataset, PropertyMatrix):
         return SignatureTable.from_matrix(dataset)
     if isinstance(dataset, RDFGraph):
         return SignatureTable.from_graph(dataset)
+    table = getattr(dataset, "table", None)
+    if isinstance(table, SignatureTable):
+        return table
     raise EvaluationError(
         f"expected an RDFGraph, PropertyMatrix or SignatureTable, got {type(dataset).__name__}"
     )

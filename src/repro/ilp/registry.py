@@ -1,0 +1,103 @@
+"""A pluggable registry of MILP solver backends.
+
+The refinement searches historically hard-wired
+:class:`~repro.ilp.scipy_backend.ScipyMilpSolver`; the registry decouples
+the core algorithm from any particular backend.  A *solver factory* is any
+callable returning an object with a ``solve(model) -> Solution`` method;
+factories are registered under a short name and instantiated on demand:
+
+>>> from repro.ilp import get_solver, register_solver
+>>> solver = get_solver("highs", time_limit=30.0)
+>>> solver.solve(model)                                   # doctest: +SKIP
+
+Search entry points (and the :mod:`repro.api` session layer) accept either
+a registered name or a ready-made solver instance; use
+:func:`resolve_solver` to normalise the two spellings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ILPError
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.scipy_backend import ScipyMilpSolver
+
+__all__ = [
+    "DEFAULT_SOLVER",
+    "register_solver",
+    "unregister_solver",
+    "solver_names",
+    "get_solver",
+    "resolve_solver",
+]
+
+#: The backend used when no solver is specified anywhere.
+DEFAULT_SOLVER = "highs"
+
+#: name -> factory; a factory is called with the keyword options passed to
+#: :func:`get_solver` and must return an object with ``solve(model)``.
+_SOLVER_FACTORIES: Dict[str, Callable[..., object]] = {}
+
+
+def register_solver(name: str, factory: Callable[..., object]) -> None:
+    """Register ``factory`` under ``name`` (overwriting any previous entry).
+
+    The factory is instantiated lazily by :func:`get_solver`; its keyword
+    arguments are backend-specific (e.g. ``time_limit``).
+    """
+    if not name or not isinstance(name, str):
+        raise ILPError(f"a solver name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise ILPError(f"the solver factory for {name!r} must be callable")
+    _SOLVER_FACTORIES[name] = factory
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registered backend (missing names are ignored)."""
+    _SOLVER_FACTORIES.pop(name, None)
+
+
+def solver_names() -> tuple:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_SOLVER_FACTORIES))
+
+
+def get_solver(name: str = DEFAULT_SOLVER, **options) -> object:
+    """Instantiate the backend registered under ``name`` with ``options``."""
+    try:
+        factory = _SOLVER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(solver_names()) or "(none)"
+        raise ILPError(f"unknown solver {name!r}; registered solvers: {known}") from None
+    return factory(**options)
+
+
+def resolve_solver(
+    solver: object = None,
+    time_limit: Optional[float] = None,
+    **options,
+) -> object:
+    """Normalise a solver *spec* into a solver instance.
+
+    ``solver`` may be ``None`` (use :data:`DEFAULT_SOLVER`), a registered
+    name, or an already-constructed instance (anything with a ``solve``
+    method), which is returned unchanged — ``time_limit``/``options`` then
+    apply only to the name-based spellings.
+    """
+    if solver is None:
+        solver = DEFAULT_SOLVER
+    if isinstance(solver, str):
+        if time_limit is not None:
+            options.setdefault("time_limit", time_limit)
+        return get_solver(solver, **options)
+    if not hasattr(solver, "solve"):
+        raise ILPError(
+            f"a solver must be a registered name or expose solve(model); got {type(solver).__name__}"
+        )
+    return solver
+
+
+register_solver("highs", ScipyMilpSolver)
+register_solver("scipy-highs", ScipyMilpSolver)  # alias matching ScipyMilpSolver.name
+register_solver("branch-and-bound", BranchAndBoundSolver)

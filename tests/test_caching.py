@@ -1,0 +1,98 @@
+"""Tests for the identity-keyed weak cache."""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+from repro.caching import IdentityWeakCache
+
+
+class Key:
+    """A weak-referenceable key object."""
+
+
+class TestIdentityWeakCache:
+    def test_get_set_roundtrip(self):
+        cache: IdentityWeakCache = IdentityWeakCache()
+        key = Key()
+        assert cache.get(key) is None
+        assert cache.set(key, "value") == "value"
+        assert cache.get(key) == "value"
+        assert len(cache) == 1
+
+    def test_get_or_create_calls_factory_once(self):
+        cache: IdentityWeakCache = IdentityWeakCache()
+        key = Key()
+        calls = []
+
+        def factory(k):
+            calls.append(k)
+            return "derived"
+
+        assert cache.get_or_create(key, factory) == "derived"
+        assert cache.get_or_create(key, factory) == "derived"
+        assert calls == [key]
+
+    def test_entry_evicted_as_soon_as_key_dies(self):
+        cache: IdentityWeakCache = IdentityWeakCache()
+        key = Key()
+        cache.set(key, "value")
+        assert len(cache) == 1
+        del key
+        gc.collect()
+        # The weakref callback fires on collection; no probe of the same
+        # id() is needed for the dead entry to disappear.
+        assert len(cache) == 0
+
+    def test_stale_callback_does_not_evict_replacement(self):
+        cache: IdentityWeakCache = IdentityWeakCache()
+        old, new = Key(), Key()
+        cache.set(old, "old value")
+        cache.set(new, "new value")
+        # Model id() reuse: as if cache.set(new, ...) had happened after
+        # `old`'s address was handed to `new` — the slot of `old` now holds
+        # the entry guarding `new`.
+        slot = id(old)
+        cache._entries[slot] = cache._entries.pop(id(new))
+        del old
+        gc.collect()
+        # The dying old key's callback fires for `slot` but must leave the
+        # entry now owned by the live new key.
+        assert slot in cache._entries
+        assert cache._entries[slot][0]() is new
+        assert cache._entries[slot][1] == "new value"
+
+    def test_prune_reports_and_removes_dead_entries(self):
+        cache: IdentityWeakCache = IdentityWeakCache()
+        keep = Key()
+        cache.set(keep, 1)
+        temp = Key()
+        dead_ref = weakref.ref(temp)
+        del temp
+        gc.collect()
+        # An entry whose key died but whose eviction callback never ran
+        # (it was created without one); prune() must still sweep it.
+        cache._entries[12345] = (dead_ref, 2)
+        assert cache.prune() == 1
+        assert 12345 not in cache._entries
+        assert cache.get(keep) == 1
+        assert cache.prune() == 0
+
+    def test_clear(self):
+        cache: IdentityWeakCache = IdentityWeakCache()
+        key = Key()
+        cache.set(key, "value")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(key) is None
+
+    def test_address_reuse_is_not_confused(self):
+        cache: IdentityWeakCache = IdentityWeakCache()
+        key = Key()
+        cache.set(key, "value")
+        impostor = Key()
+        # Force the impostor onto the key's slot: identity check must reject it.
+        cache._entries[id(impostor)] = cache._entries[id(key)]
+        assert cache.get(impostor) is None
+        assert cache.get(key) == "value"

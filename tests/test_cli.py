@@ -71,6 +71,62 @@ class TestRefine:
             main(["refine", persons_file, "-k", "2", "--theta", "0.9"])
 
 
+class TestThetaParsing:
+    def test_fraction_string_theta(self, persons_file, capsys):
+        assert main(["refine", persons_file, "--theta", "3/4"]) == 0
+        assert "lowest k for theta = 0.75" in capsys.readouterr().out
+
+    def test_theta_above_one_rejected_with_message(self, persons_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["refine", persons_file, "--theta", "1.5"])
+        assert "theta must lie in [0, 1]" in str(excinfo.value)
+
+    def test_malformed_theta_rejected_with_message(self, persons_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["refine", persons_file, "--theta", "three quarters"])
+        assert "fraction string" in str(excinfo.value)
+
+
+class TestJsonOutput:
+    def test_evaluate_json(self, persons_file, capsys):
+        import json
+
+        assert main(["evaluate", persons_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"]["n_subjects"] == 115
+        assert {result["rule"] for result in payload["results"]} == {"Cov", "Sim"}
+
+    def test_refine_json(self, persons_file, capsys):
+        import json
+
+        assert main(["refine", persons_file, "-k", "2", "--step", "0.1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "highest_theta"
+        assert payload["k"] <= 2
+        assert len(payload["sorts"]) == payload["k"]
+
+    def test_experiment_json(self, capsys):
+        import json
+
+        assert main(["experiment", "table1", "--param", "n_subjects=2000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "table1"
+        assert payload["rows"]
+
+
+class TestSolverSelection:
+    def test_refine_with_branch_and_bound(self, persons_file, capsys):
+        assert main(
+            ["refine", persons_file, "-k", "2", "--step", "0.25",
+             "--solver", "branch-and-bound"]
+        ) == 0
+        assert "highest theta for k = 2" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected_by_argparse(self, persons_file):
+        with pytest.raises(SystemExit):
+            main(["refine", persons_file, "-k", "2", "--solver", "cplex"])
+
+
 class TestExperiment:
     def test_list_experiments(self, capsys):
         assert main(["experiment", "--list"]) == 0
