@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""HTTP smoke test: serve → evaluate/refine/sweep → batch → stats.
+
+Starts ``repro serve`` as a real subprocess on an ephemeral port, drives
+it over HTTP the way a client would, and fails (non-zero exit) on any
+non-200 response or on payload drift against an in-process
+:class:`repro.service.InlineExecutor` answering the same requests.  CI
+runs this as its service job; locally::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+DATASET = {"builtin": "dbpedia-persons", "params": {"n_subjects": 500}}
+REQUESTS = [
+    {"op": "evaluate", "dataset": DATASET, "request": {"rule": "Cov", "exact": True}},
+    {"op": "refine", "dataset": DATASET, "request": {"rule": "Cov", "k": 2, "step": "1/10"}},
+    {"op": "sweep", "dataset": DATASET, "request": {"rule": "Cov", "k_values": [2, 3], "step": "1/4"}},
+]
+
+
+def call(base, path, body=None, expect=200):
+    url = base + path
+    if body is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(body).encode(), headers={"Content-Type": "application/json"}
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            status, payload = response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        status, payload = error.code, json.loads(error.read())
+    if status != expect:
+        raise SystemExit(f"FAIL {path}: expected HTTP {expect}, got {status}: {payload}")
+    return payload
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", line)
+        if not match:
+            raise SystemExit(f"FAIL: server did not announce its address: {line!r}")
+        base = match.group(1)
+        deadline = time.time() + 30
+        while True:
+            try:
+                call(base, "/healthz")
+                break
+            except OSError:
+                if time.time() > deadline:
+                    raise SystemExit("FAIL: server never became healthy")
+                time.sleep(0.2)
+
+        sys.path.insert(0, src)
+        from repro.service import InlineExecutor
+
+        # The server executes the single-op calls first and the batch
+        # second, against the same long-lived sessions — so the second
+        # pass legitimately reports ``cached: true``.  Replay the exact
+        # same sequence on one inline executor to get both references.
+        executor = InlineExecutor()
+        reference = executor.execute([dict(r) for r in REQUESTS])
+        reference_repeat = executor.execute([dict(r) for r in REQUESTS])
+
+        # Single-op routes, checked against the in-process answers.
+        for request, expected in zip(REQUESTS, reference):
+            payload = call(base, f"/v1/{request['op']}", {k: v for k, v in request.items() if k != "op"})
+            if not payload.get("ok"):
+                raise SystemExit(f"FAIL /v1/{request['op']}: {payload}")
+            if payload["result"] != expected["result"]:
+                raise SystemExit(
+                    f"FAIL /v1/{request['op']}: payload drift\n"
+                    f"  http:   {json.dumps(payload['result'], sort_keys=True)}\n"
+                    f"  inline: {json.dumps(expected['result'], sort_keys=True)}"
+                )
+
+        # The batch route returns the same envelopes, in order (the repeat
+        # reference: the server's sessions answered these once already).
+        batch = call(base, "/v1/batch", {"requests": REQUESTS})
+        if batch["results"] != reference_repeat:
+            raise SystemExit(
+                "FAIL /v1/batch: payload drift against inline executor\n"
+                f"  http:   {json.dumps(batch['results'], sort_keys=True)}\n"
+                f"  inline: {json.dumps(reference_repeat, sort_keys=True)}"
+            )
+
+        # A client mistake must map to a structured 400, not a traceback.
+        bad = call(base, "/v1/lowest_k", {"dataset": DATASET, "theta": "4/3"}, expect=400)
+        if bad.get("error", {}).get("type") != "RequestError":
+            raise SystemExit(f"FAIL: bad theta did not map to RequestError: {bad}")
+
+        stats = call(base, "/v1/stats")
+        sessions = stats.get("executor", {}).get("sessions", [])
+        if not sessions or any("solver" not in s for s in sessions):
+            raise SystemExit(f"FAIL /v1/stats: sessions missing solver backends: {stats}")
+        datasets = call(base, "/v1/datasets")
+        if "dbpedia-persons" not in datasets.get("builtin", []):
+            raise SystemExit(f"FAIL /v1/datasets: {datasets}")
+
+        print("service smoke OK:", json.dumps(stats["server"], sort_keys=True))
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,9 @@ The package provides:
   branch-and-bound backends ship built in (:mod:`repro.ilp`);
 * the sort-refinement core (:mod:`repro.core`): the ILP encoding, the
   decision procedure, highest-θ / lowest-k searches and a greedy baseline;
+* a batch/HTTP service layer (:mod:`repro.service`): a JSONL wire codec,
+  a dependency-aware batch executor with a multiprocess worker pool, and
+  a stdlib HTTP front-end (``repro serve`` / ``repro batch``);
 * the NP-hardness reduction from 3-coloring (:mod:`repro.reduction`);
 * synthetic stand-ins for the paper's datasets (:mod:`repro.datasets`) and
   an experiment harness regenerating every table and figure
@@ -59,13 +62,15 @@ from repro.exceptions import (
     RuleError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Top-level conveniences resolved lazily so that ``import repro`` stays
 #: lightweight (the api package pulls in numpy/scipy-backed layers).
 _LAZY_EXPORTS = {
     "Dataset": "repro.api",
     "StructurednessSession": "repro.api",
+    "InlineExecutor": "repro.service",
+    "PooledExecutor": "repro.service",
 }
 
 __all__ = [
@@ -82,6 +87,8 @@ __all__ = [
     "RequestError",
     "Dataset",
     "StructurednessSession",
+    "InlineExecutor",
+    "PooledExecutor",
 ]
 
 

@@ -15,6 +15,7 @@ built at most once; ``stats`` counts the builds so tests can prove it.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Optional
 
 from repro.exceptions import DatasetError
@@ -98,6 +99,11 @@ class Dataset:
         self._artifact_factory = artifact_factory
         #: How many times each stage of the chain was actually built.
         self.stats: Dict[str, int] = {"graph_builds": 0, "matrix_builds": 0, "table_builds": 0}
+        # Guards the lazy build chain: concurrent accessors (a threaded
+        # service serving one dataset to many sessions) must never trigger
+        # duplicate graph/matrix/table builds.  Reentrant because the
+        # stages call each other (table → matrix → graph).
+        self._lock = threading.RLock()
 
     def _realise_artifact(self) -> None:
         """Run the deferred artifact factory (once) and slot its product in."""
@@ -193,45 +199,48 @@ class Dataset:
     @property
     def graph(self) -> RDFGraph:
         """The RDF graph (built once; unavailable for table/matrix-born datasets)."""
-        if self._graph is None:
-            self._realise_artifact()
-        if self._graph is None:
-            if self._graph_factory is None:
-                raise DatasetError(
-                    f"dataset {self._name!r} was constructed without an RDF graph; "
-                    "only its matrix/signature-table views are available"
-                )
-            self._graph = self._graph_factory()
-            self.stats["graph_builds"] += 1
-        return self._graph
+        with self._lock:
+            if self._graph is None:
+                self._realise_artifact()
+            if self._graph is None:
+                if self._graph_factory is None:
+                    raise DatasetError(
+                        f"dataset {self._name!r} was constructed without an RDF graph; "
+                        "only its matrix/signature-table views are available"
+                    )
+                self._graph = self._graph_factory()
+                self.stats["graph_builds"] += 1
+            return self._graph
 
     @property
     def matrix(self) -> PropertyMatrix:
         """The property-structure view M(D) (built once from the graph)."""
-        if self._matrix is None:
-            if self._table is None:
-                self._realise_artifact()
-            if self._table is not None and self._graph is None and self._graph_factory is None:
-                raise DatasetError(
-                    f"dataset {self._name!r} was constructed from a signature table; "
-                    "the per-subject property matrix is not available"
-                )
-            self._matrix = PropertyMatrix.from_graph(self.graph)
-            self.stats["matrix_builds"] += 1
-        return self._matrix
+        with self._lock:
+            if self._matrix is None:
+                if self._table is None:
+                    self._realise_artifact()
+                if self._table is not None and self._graph is None and self._graph_factory is None:
+                    raise DatasetError(
+                        f"dataset {self._name!r} was constructed from a signature table; "
+                        "the per-subject property matrix is not available"
+                    )
+                self._matrix = PropertyMatrix.from_graph(self.graph)
+                self.stats["matrix_builds"] += 1
+            return self._matrix
 
     @property
     def table(self) -> SignatureTable:
         """The signature table (built once from the matrix or graph)."""
-        if self._table is None:
-            self._realise_artifact()
-        if self._table is None:
-            if self._matrix is not None:
-                self._table = SignatureTable.from_matrix(self._matrix)
-            else:
-                self._table = SignatureTable.from_matrix(self.matrix)
-            self.stats["table_builds"] += 1
-        return self._table
+        with self._lock:
+            if self._table is None:
+                self._realise_artifact()
+            if self._table is None:
+                if self._matrix is not None:
+                    self._table = SignatureTable.from_matrix(self._matrix)
+                else:
+                    self._table = SignatureTable.from_matrix(self.matrix)
+                self.stats["table_builds"] += 1
+            return self._table
 
     @property
     def info(self) -> DatasetInfo:

@@ -9,6 +9,7 @@ the session also uses them as keys of its result cache.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Optional, Tuple, Union
@@ -44,17 +45,30 @@ def parse_theta(value: ThetaSpec) -> Fraction:
     malformed input or a value outside ``[0, 1]``.
     """
     try:
+        if isinstance(value, bool):
+            raise TypeError("bool")
         if isinstance(value, str):
-            theta = Fraction(value.strip())
+            text = value.strip()
+            # Fraction("3/-4") already fails to parse, but reject any
+            # signed denominator explicitly with a readable message.
+            if "/" in text and text.split("/", 1)[1].strip().startswith(("-", "+")):
+                raise RequestError(
+                    f"theta fractions must have an unsigned denominator, got {value!r}"
+                )
+            theta = Fraction(text)
         elif isinstance(value, (int, Fraction)):
             theta = Fraction(value)
         elif isinstance(value, float):
+            if not math.isfinite(value):
+                raise RequestError(f"theta must be a finite number, got {value!r}")
             # Same float semantics as repro.core.encoder.to_fraction: 0.9
             # means 9/10, not its binary approximation.
             theta = Fraction(value).limit_denominator(10_000)
         else:
             raise TypeError(type(value).__name__)
-    except (ValueError, ZeroDivisionError, TypeError):
+    except RequestError:
+        raise
+    except (ValueError, ZeroDivisionError, TypeError, OverflowError):
         raise RequestError(
             f"theta must be a number or a fraction string such as '0.9' or '3/4', got {value!r}"
         ) from None

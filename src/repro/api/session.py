@@ -23,6 +23,7 @@ and capacity planning — can see exactly what was reused.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, replace
 from typing import Dict, Optional, Tuple
@@ -51,7 +52,7 @@ from repro.functions.structuredness import (
     dependency as dependency_value,
     symmetric_dependency as symmetric_dependency_value,
 )
-from repro.ilp.registry import resolve_solver
+from repro.ilp.registry import DEFAULT_SOLVER, resolve_solver
 from repro.rdf.terms import coerce_uri
 from repro.rules import library
 from repro.rules.ast import Rule
@@ -142,11 +143,23 @@ class StructurednessSession:
             solver, time_limit=solver_time_limit, **(solver_options or {})
         )
         self.solver = _CountingSolver(inner, self.stats)
+        #: How the backend was requested (a registry name, or the instance's
+        #: own name) — the service reports it next to the resolved backend.
+        self.solver_spec: str = (
+            solver if isinstance(solver, str)
+            else DEFAULT_SOLVER if solver is None
+            else self.solver.name
+        )
         self._cache_results = cache_results
         self._max_cached_results = max(1, max_cached_results)
         self._encoders: Dict[str, SortRefinementEncoder] = {}
         self._functions: Dict[str, StructurednessFunction] = {}
         self._results: "OrderedDict[tuple, object]" = OrderedDict()
+        # Serialises queries: shared encoder/sweep state is not safe under
+        # concurrent mutation, and holding the lock for the whole query is
+        # what guarantees a thread never repeats another thread's solver
+        # work for an identical request (it finds the cached result instead).
+        self._lock = threading.RLock()
 
     def _cached_result(self, key: tuple):
         """Fetch a cached result (marking it most recently used) or ``None``."""
@@ -166,7 +179,24 @@ class StructurednessSession:
 
     def clear_cache(self) -> None:
         """Drop every cached result (shared encoders and functions remain)."""
-        self._results.clear()
+        with self._lock:
+            self._results.clear()
+
+    def describe(self) -> Dict[str, object]:
+        """Serialisable session facts: dataset, solver binding and counters.
+
+        ``solver`` is the *resolved* backend's name, ``solver_spec`` how it
+        was requested — the service's ``/v1/stats`` reports both so callers
+        can see which backend each session actually runs on.
+        """
+        with self._lock:
+            return {
+                "dataset": self.dataset.name,
+                "solver": self.solver.name,
+                "solver_spec": self.solver_spec,
+                "stats": dict(self.stats),
+                "cached_results": len(self._results),
+            }
 
     # ------------------------------------------------------------------ #
     # Shared per-rule state
@@ -178,22 +208,24 @@ class StructurednessSession:
         """The session's shared encoder for ``rule`` (created on first use)."""
         resolved = resolve_rule(rule)
         key = self._rule_key(resolved)
-        encoder = self._encoders.get(key)
-        if encoder is None:
-            encoder = self._encoders[key] = SortRefinementEncoder(resolved)
-        return encoder
+        with self._lock:
+            encoder = self._encoders.get(key)
+            if encoder is None:
+                encoder = self._encoders[key] = SortRefinementEncoder(resolved)
+            return encoder
 
     def function_for(self, rule: RuleSpec) -> StructurednessFunction:
         """The fastest :class:`StructurednessFunction` for ``rule``, cached."""
         resolved = resolve_rule(rule)
         key = self._rule_key(resolved)
-        function = self._functions.get(key)
-        if function is None:
-            name = resolved.name if isinstance(rule, Rule) else (
-                rule if isinstance(rule, str) and rule in _NAMED_RULES else resolved.name
-            )
-            function = self._functions[key] = best_function_for_rule(resolved, name=name)
-        return function
+        with self._lock:
+            function = self._functions.get(key)
+            if function is None:
+                name = resolved.name if isinstance(rule, Rule) else (
+                    rule if isinstance(rule, str) and rule in _NAMED_RULES else resolved.name
+                )
+                function = self._functions[key] = best_function_for_rule(resolved, name=name)
+            return function
 
     def _request_key(self, request: object, rule: Rule) -> tuple:
         fields = asdict(request)
@@ -225,82 +257,86 @@ class StructurednessSession:
         req = self._coerce(request, EvaluateRequest, kwargs)
         rule = resolve_rule(req.rule)
         key = self._request_key(req, rule)
-        self.stats["requests"] += 1
-        cached = self._cached_result(key)
-        if cached is not None:
-            return cached
-        function = self.function_for(req.rule)
-        exact_value = function.evaluate_fraction(self.dataset.table)
-        result = EvaluationResult(
-            dataset=self.info,
-            rule=function.name,
-            value=float(exact_value),
-            exact=f"{exact_value.numerator}/{exact_value.denominator}" if req.exact else None,
-        )
-        self._store_result(key, result)
-        return result
+        with self._lock:
+            self.stats["requests"] += 1
+            cached = self._cached_result(key)
+            if cached is not None:
+                return cached
+            function = self.function_for(req.rule)
+            exact_value = function.evaluate_fraction(self.dataset.table)
+            result = EvaluationResult(
+                dataset=self.info,
+                rule=function.name,
+                value=float(exact_value),
+                exact=f"{exact_value.numerator}/{exact_value.denominator}" if req.exact else None,
+            )
+            self._store_result(key, result)
+            return result
 
     def dependency(self, prop1: object, prop2: object, symmetric: bool = False) -> EvaluationResult:
         """σDep[p1, p2] (or σSymDep with ``symmetric=True``) of the dataset."""
         p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
-        self.stats["requests"] += 1
-        compute = symmetric_dependency_value if symmetric else dependency_value
-        label = "SymDep" if symmetric else "Dep"
-        return EvaluationResult(
-            dataset=self.info,
-            rule=f"{label}[{p1.local_name}, {p2.local_name}]",
-            value=float(compute(self.dataset.table, p1, p2)),
-        )
+        with self._lock:
+            self.stats["requests"] += 1
+            compute = symmetric_dependency_value if symmetric else dependency_value
+            label = "SymDep" if symmetric else "Dep"
+            return EvaluationResult(
+                dataset=self.info,
+                rule=f"{label}[{p1.local_name}, {p2.local_name}]",
+                value=float(compute(self.dataset.table, p1, p2)),
+            )
 
     def refine(self, request: object = None, /, **kwargs) -> RefinementResult:
         """Highest-θ sort refinement for a fixed ``k`` (see :class:`RefineRequest`)."""
         req = self._coerce(request, RefineRequest, kwargs)
         rule = resolve_rule(req.rule)
         key = self._request_key(req, rule)
-        self.stats["requests"] += 1
-        cached = self._cached_result(key)
-        if cached is not None:
-            return replace(cached, cached=True)
-        search = highest_theta_refinement(
-            self.dataset.table,
-            rule,
-            k=req.k,
-            step=req.step,
-            initial_theta=req.initial_theta,
-            solver=self.solver,
-            max_probes=req.max_probes,
-            use_incremental=req.use_incremental,
-            witness_skip=req.witness_skip,
-            encoder=self.encoder_for(req.rule),
-        )
-        result = self._refinement_result(req.rule, rule, "highest_theta", search)
-        self._store_result(key, result)
-        return result
+        with self._lock:
+            self.stats["requests"] += 1
+            cached = self._cached_result(key)
+            if cached is not None:
+                return replace(cached, cached=True)
+            search = highest_theta_refinement(
+                self.dataset.table,
+                rule,
+                k=req.k,
+                step=req.step,
+                initial_theta=req.initial_theta,
+                solver=self.solver,
+                max_probes=req.max_probes,
+                use_incremental=req.use_incremental,
+                witness_skip=req.witness_skip,
+                encoder=self.encoder_for(req.rule),
+            )
+            result = self._refinement_result(req.rule, rule, "highest_theta", search)
+            self._store_result(key, result)
+            return result
 
     def lowest_k(self, request: object = None, /, **kwargs) -> RefinementResult:
         """Smallest ``k`` reaching threshold θ (see :class:`LowestKRequest`)."""
         req = self._coerce(request, LowestKRequest, kwargs)
         rule = resolve_rule(req.rule)
         key = self._request_key(req, rule)
-        self.stats["requests"] += 1
-        cached = self._cached_result(key)
-        if cached is not None:
-            return replace(cached, cached=True)
-        search = lowest_k_refinement(
-            self.dataset.table,
-            rule,
-            theta=req.theta,
-            direction=req.direction,
-            k_min=req.k_min,
-            k_max=req.k_max,
-            solver=self.solver,
-            use_incremental=req.use_incremental,
-            witness_skip=req.witness_skip,
-            encoder=self.encoder_for(req.rule),
-        )
-        result = self._refinement_result(req.rule, rule, "lowest_k", search)
-        self._store_result(key, result)
-        return result
+        with self._lock:
+            self.stats["requests"] += 1
+            cached = self._cached_result(key)
+            if cached is not None:
+                return replace(cached, cached=True)
+            search = lowest_k_refinement(
+                self.dataset.table,
+                rule,
+                theta=req.theta,
+                direction=req.direction,
+                k_min=req.k_min,
+                k_max=req.k_max,
+                solver=self.solver,
+                use_incremental=req.use_incremental,
+                witness_skip=req.witness_skip,
+                encoder=self.encoder_for(req.rule),
+            )
+            result = self._refinement_result(req.rule, rule, "lowest_k", search)
+            self._store_result(key, result)
+            return result
 
     def sweep(self, request: object = None, /, **kwargs) -> SweepResult:
         """Highest-θ refinements for every ``k`` in ``k_values``.
@@ -311,32 +347,33 @@ class StructurednessSession:
         req = self._coerce(request, SweepRequest, kwargs)
         rule = resolve_rule(req.rule)
         key = self._request_key(req, rule)
-        self.stats["requests"] += 1
-        cached = self._cached_result(key)
-        if cached is not None:
-            return replace(
-                cached,
-                entries=tuple(replace(entry, cached=True) for entry in cached.entries),
+        with self._lock:
+            self.stats["requests"] += 1
+            cached = self._cached_result(key)
+            if cached is not None:
+                return replace(
+                    cached,
+                    entries=tuple(replace(entry, cached=True) for entry in cached.entries),
+                )
+            entries = []
+            for k in req.k_values:
+                search = highest_theta_refinement(
+                    self.dataset.table,
+                    rule,
+                    k=k,
+                    step=req.step,
+                    solver=self.solver,
+                    max_probes=req.max_probes,
+                    use_incremental=req.use_incremental,
+                    witness_skip=req.witness_skip,
+                    encoder=self.encoder_for(req.rule),
+                )
+                entries.append(self._refinement_result(req.rule, rule, "highest_theta", search))
+            result = SweepResult(
+                dataset=self.info, rule=entries[0].rule, entries=tuple(entries)
             )
-        entries = []
-        for k in req.k_values:
-            search = highest_theta_refinement(
-                self.dataset.table,
-                rule,
-                k=k,
-                step=req.step,
-                solver=self.solver,
-                max_probes=req.max_probes,
-                use_incremental=req.use_incremental,
-                witness_skip=req.witness_skip,
-                encoder=self.encoder_for(req.rule),
-            )
-            entries.append(self._refinement_result(req.rule, rule, "highest_theta", search))
-        result = SweepResult(
-            dataset=self.info, rule=entries[0].rule, entries=tuple(entries)
-        )
-        self._store_result(key, result)
-        return result
+            self._store_result(key, result)
+            return result
 
     # ------------------------------------------------------------------ #
     # Result assembly

@@ -14,6 +14,7 @@ the next probe of the same address.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
 
@@ -31,14 +32,19 @@ class IdentityWeakCache(Generic[K, V]):
     evicted immediately by the weakref callback.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_lock")
 
     def __init__(self) -> None:
         self._entries: Dict[int, Tuple[weakref.ref, V]] = {}
+        # Guards the entry dict and makes get_or_create single-flight:
+        # these caches hold exactly the derived views (counting tables,
+        # encoder coefficients) a threaded service must not build twice.
+        self._lock = threading.RLock()
 
     def get(self, key: K) -> Optional[V]:
         """Return the cached value for ``key`` or ``None``."""
-        entry = self._entries.get(id(key))
+        with self._lock:
+            entry = self._entries.get(id(key))
         if entry is None:
             return None
         ref, value = entry
@@ -54,19 +60,26 @@ class IdentityWeakCache(Generic[K, V]):
             # Only drop the entry this dying reference belongs to: the slot
             # may have been overwritten for a newer object that was handed
             # the same address, and that entry must survive.
-            entry = self._entries.get(key_id)
-            if entry is not None and entry[0] is ref:
-                del self._entries[key_id]
+            with self._lock:
+                entry = self._entries.get(key_id)
+                if entry is not None and entry[0] is ref:
+                    del self._entries[key_id]
 
-        self._entries[key_id] = (weakref.ref(key, _evict), value)
+        with self._lock:
+            self._entries[key_id] = (weakref.ref(key, _evict), value)
         return value
 
     def get_or_create(self, key: K, factory: Callable[[K], V]) -> V:
-        """Return the cached value for ``key``, creating it via ``factory``."""
-        value = self.get(key)
-        if value is None:
-            value = self.set(key, factory(key))
-        return value
+        """Return the cached value for ``key``, creating it via ``factory``.
+
+        Single-flight under threads: the factory runs inside the cache
+        lock, so concurrent callers of the same key build the value once.
+        """
+        with self._lock:
+            value = self.get(key)
+            if value is None:
+                value = self.set(key, factory(key))
+            return value
 
     def prune(self) -> int:
         """Drop any entries whose key object has died; return how many.
@@ -76,14 +89,16 @@ class IdentityWeakCache(Generic[K, V]):
         want to assert the steady state without relying on callback
         ordering).
         """
-        dead = [key_id for key_id, (ref, _) in self._entries.items() if ref() is None]
-        for key_id in dead:
-            self._entries.pop(key_id, None)
-        return len(dead)
+        with self._lock:
+            dead = [key_id for key_id, (ref, _) in self._entries.items() if ref() is None]
+            for key_id in dead:
+                self._entries.pop(key_id, None)
+            return len(dead)
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -31,6 +31,14 @@ Run a paper experiment::
 List the available experiments::
 
     repro experiment --list
+
+Run a JSONL batch through the service executor (4 worker processes)::
+
+    repro batch jobs.jsonl --workers 4 --output results.jsonl
+
+Start the HTTP service (``--port 0`` picks an ephemeral port)::
+
+    repro serve --port 8080 --workers 4
 """
 
 from __future__ import annotations
@@ -97,6 +105,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment parameter override, e.g. --param n_subjects=5000 (repeatable)",
     )
     experiment.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+    batch = subparsers.add_parser(
+        "batch", help="run a JSONL batch of service requests (see repro.service.wire)"
+    )
+    batch.add_argument("input", help="path to a JSONL request file, or '-' for stdin")
+    batch.add_argument("--workers", type=int, default=1, help="worker processes (1 = inline)")
+    batch.add_argument("--output", "-o", help="write result JSONL here instead of stdout")
+    batch.add_argument("--time-limit", type=float, default=None, help="per-ILP time limit in seconds")
+    batch.add_argument("--stats", action="store_true", help="print executor stats to stderr")
+
+    serve = subparsers.add_parser("serve", help="start the HTTP structuredness service")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="TCP port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=1, help="worker processes (1 = inline)")
+    serve.add_argument("--time-limit", type=float, default=None, help="per-ILP time limit in seconds")
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
     return parser
 
 
@@ -207,6 +231,43 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch(args: argparse.Namespace) -> int:
+    from repro.service import create_executor
+
+    if args.input == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    with create_executor(workers=args.workers, solver_time_limit=args.time_limit) as executor:
+        try:
+            output = executor.execute_jsonl(text)
+        except RequestError as error:
+            raise SystemExit(f"batch: {error}")
+        if args.stats:
+            import json
+
+            print(json.dumps(executor.stats(), sort_keys=True), file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(output + ("\n" if output else ""))
+    else:
+        print(output)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        solver_time_limit=args.time_limit,
+        verbose=args.verbose,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
@@ -217,6 +278,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_refine(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "batch":
+        return _command_batch(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.print_help()
     return 1
 

@@ -68,8 +68,14 @@ def get_solver(name: str = DEFAULT_SOLVER, **options) -> object:
     try:
         factory = _SOLVER_FACTORIES[name]
     except KeyError:
+        import difflib
+
         known = ", ".join(solver_names()) or "(none)"
-        raise ILPError(f"unknown solver {name!r}; registered solvers: {known}") from None
+        close = difflib.get_close_matches(str(name), solver_names(), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        raise ILPError(
+            f"unknown solver {name!r}; registered solvers: {known}{hint}"
+        ) from None
     return factory(**options)
 
 

@@ -1,0 +1,118 @@
+"""A multiprocessing worker pool for batch groups.
+
+Each worker process holds one :class:`~repro.service.executor.InlineExecutor`
+— and through it a :class:`~repro.service.registry.DatasetRegistry` and a
+session cache — created by the pool initialiser and kept for the worker's
+lifetime.  A job is one batch *group* (requests sharing a dataset, rule
+and solver); the graph → matrix → signature-table chain for a dataset is
+therefore built at most once per worker, and jobs only ship scalar data
+across the process boundary: wire dicts out, result envelopes back.
+
+Determinism: a group always runs in submission order inside one worker's
+session, exactly as :class:`InlineExecutor` runs it in-process, so pooled
+payloads are bit-identical to inline payloads — only wall-clock changes.
+Use ``InlineExecutor`` directly where that equivalence is under test.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Dict, List, Optional
+
+from repro.service.executor import BatchExecutor, BatchGroup, InlineExecutor
+
+__all__ = ["PooledExecutor"]
+
+#: The calling process never touches this; it exists in pool workers only.
+_WORKER_EXECUTOR: Optional[InlineExecutor] = None
+
+
+def _initialise_worker(solver_time_limit: Optional[float]) -> None:
+    """Pool initialiser: build the worker's long-lived inline engine."""
+    global _WORKER_EXECUTOR
+    _WORKER_EXECUTOR = InlineExecutor(solver_time_limit=solver_time_limit)
+
+
+def _run_group(request_dicts: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Worker entry point: parse one group's wire dicts and run them."""
+    from repro.service.wire import parse_request
+
+    assert _WORKER_EXECUTOR is not None, "pool worker was not initialised"
+    return _WORKER_EXECUTOR.run_group([parse_request(d) for d in request_dicts])
+
+
+class PooledExecutor(BatchExecutor):
+    """Fan batch groups out over a pool of long-lived worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (the concurrency of independent groups).
+    solver_time_limit:
+        Forwarded to every worker's session construction.
+    start_method:
+        A :mod:`multiprocessing` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) or ``None`` for the platform default.  Workers
+        import everything they need, so all methods work; ``fork`` starts
+        fastest where available.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        solver_time_limit: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._solver_time_limit = solver_time_limit
+        self._context = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._jobs = 0
+        # Guards lazy pool creation and the job counter: concurrent HTTP
+        # handler threads sharing one executor must not each spawn a pool
+        # (the loser's worker processes would leak until interpreter GC).
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                self._pool = self._context.Pool(
+                    processes=self.workers,
+                    initializer=_initialise_worker,
+                    initargs=(self._solver_time_limit,),
+                )
+            return self._pool
+
+    def _execute_groups(self, groups: List[BatchGroup]) -> List[List[Dict[str, object]]]:
+        if not groups:
+            return []
+        payloads = [[request.to_dict() for request in group.requests] for group in groups]
+        pool = self._ensure_pool()
+        with self._lock:
+            self._jobs += len(payloads)
+        # chunksize=1 spreads groups across workers instead of batching
+        # them onto a few; a group is already a coarse unit of work.
+        return pool.map(_run_group, payloads, chunksize=1)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "mode": "pool",
+            "workers": self.workers,
+            "start_method": self._context.get_start_method(),
+            "jobs_dispatched": self._jobs,
+        }
+
+    def close(self) -> None:
+        """Shut the worker processes down (the executor can be reused after)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None

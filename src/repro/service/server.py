@@ -1,0 +1,239 @@
+"""A stdlib HTTP front-end over the batch executor.
+
+Routes (all payloads JSON):
+
+* ``POST /v1/evaluate`` / ``/v1/refine`` / ``/v1/lowest_k`` / ``/v1/sweep``
+  — one wire request body (the ``op`` field is implied by the path); the
+  request fields may be nested under ``"request"`` or spelled inline.
+* ``POST /v1/batch`` — ``{"requests": [...]}`` or a JSONL body
+  (``Content-Type: application/x-ndjson``); responds with
+  ``{"results": [one envelope per request, in order]}``.
+* ``GET /v1/datasets`` — built-in dataset names plus everything the
+  server's registry has materialised (inline mode; with ``--workers > 1``
+  the datasets live inside pool workers, so ``loaded`` stays empty).
+* ``GET /v1/stats`` — server counters and the executor's stats.  In
+  inline mode that includes one entry per session with its resolved
+  solver backend and cache-hit/solver-call counts; in pooled mode the
+  per-session detail lives in the workers and the stats report the
+  pool-level view (worker count, jobs dispatched).
+* ``GET /healthz`` — liveness probe.
+
+Malformed requests (unknown op/rule/dataset/solver, out-of-range θ or k)
+map to structured ``400`` bodies via :func:`repro.service.wire.error_result`
+— never a traceback; unexpected failures map to ``500`` with the same
+shape.  The server is a ``ThreadingHTTPServer``: the locks on ``Dataset``
+and ``StructurednessSession`` make concurrent requests against shared
+sessions safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.api.dataset import builtin_dataset_names
+from repro.exceptions import ReproError, RequestError
+from repro.service.executor import BatchExecutor, create_executor
+from repro.service.wire import OPS, error_result, parse_request
+
+__all__ = ["StructurednessService", "ServiceServer", "make_server", "serve"]
+
+_JSON = "application/json"
+
+
+class StructurednessService:
+    """The transport-independent request handling behind the HTTP routes."""
+
+    def __init__(self, executor: Optional[BatchExecutor] = None, workers: int = 1,
+                 solver_time_limit: Optional[float] = None):
+        self.executor = executor if executor is not None else create_executor(
+            workers=workers, solver_time_limit=solver_time_limit
+        )
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "http_requests": 0,
+            "ok_responses": 0,
+            "error_responses": 0,
+        }
+
+    def _count(self, ok: bool) -> None:
+        with self._lock:
+            self.counters["http_requests"] += 1
+            self.counters["ok_responses" if ok else "error_responses"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Route handlers: each returns (http_status, payload dict)
+    # ------------------------------------------------------------------ #
+    def handle_op(self, op: str, body: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        """One single-op POST: run the request and unwrap its envelope."""
+        try:
+            request = parse_request(dict(body, op=op))
+        except ReproError as error:
+            return 400, error_result(error)
+        envelope = self.executor.execute([request])[0]
+        status = 200 if envelope.get("ok") else int(envelope.get("status", 500))
+        return status, envelope
+
+    def handle_batch(self, body: object, ndjson: bool = False) -> Tuple[int, Dict[str, object]]:
+        """A whole batch; per-request failures stay inside their envelope.
+
+        Both spellings have identical semantics: a request that fails to
+        parse (one NDJSON line, one list element) yields an error envelope
+        in its slot — it never poisons the rest of the batch.
+        """
+        try:
+            if ndjson:
+                text = body if isinstance(body, str) else ""
+                requests: list = [
+                    line for line in (raw.strip() for raw in text.splitlines())
+                    if line and not line.startswith("#")
+                ]
+            else:
+                if not isinstance(body, dict) or not isinstance(body.get("requests"), list):
+                    raise RequestError("a batch body must be {'requests': [...]} or JSONL")
+                requests = list(body["requests"])
+            envelopes = self.executor.execute(requests)
+        except ReproError as error:
+            return 400, error_result(error)
+        return 200, {"ok": True, "count": len(envelopes), "results": envelopes}
+
+    def handle_datasets(self) -> Tuple[int, Dict[str, object]]:
+        payload: Dict[str, object] = {"builtin": list(builtin_dataset_names())}
+        registry = getattr(self.executor, "registry", None)
+        payload["loaded"] = registry.describe() if registry is not None else []
+        return 200, payload
+
+    def handle_stats(self) -> Tuple[int, Dict[str, object]]:
+        with self._lock:
+            server_counters = dict(self.counters)
+        return 200, {"server": server_counters, "executor": self.executor.stats()}
+
+    def close(self) -> None:
+        self.executor.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-structuredness/1.2"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> StructurednessService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", _JSON)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.service._count(200 <= status < 400)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path == "/v1/datasets":
+            self._respond(*self.service.handle_datasets())
+        elif self.path == "/v1/stats":
+            self._respond(*self.service.handle_stats())
+        elif self.path == "/healthz":
+            self._respond(200, {"ok": True})
+        else:
+            self._respond(404, {"ok": False, "error": {"type": "NotFound", "message": self.path}})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        raw = self._read_body()
+        content_type = (self.headers.get("Content-Type") or _JSON).split(";")[0].strip()
+        ndjson = content_type in ("application/x-ndjson", "application/jsonl", "text/plain")
+        try:
+            if not self.path.startswith("/v1/"):
+                self._respond(
+                    404, {"ok": False, "error": {"type": "NotFound", "message": self.path}}
+                )
+                return
+            route = self.path[len("/v1/"):]
+            if route == "batch":
+                body = raw.decode("utf-8") if ndjson else json.loads(raw or b"{}")
+                self._respond(*self.service.handle_batch(body, ndjson=ndjson))
+            elif route in OPS:
+                body = json.loads(raw or b"{}")
+                if not isinstance(body, dict):
+                    raise RequestError("the request body must be a JSON object")
+                self._respond(*self.service.handle_op(route, body))
+            else:
+                self._respond(
+                    404, {"ok": False, "error": {"type": "NotFound", "message": self.path}}
+                )
+        except json.JSONDecodeError as error:
+            self._respond(400, error_result(RequestError(f"body is not valid JSON: {error}")))
+        except ReproError as error:
+            self._respond(400, error_result(error))
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._respond(500, error_result(error))
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`StructurednessService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: StructurednessService,
+                 verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 1,
+    solver_time_limit: Optional[float] = None,
+    executor: Optional[BatchExecutor] = None,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Bind a service server (``port=0`` picks an ephemeral free port)."""
+    service = StructurednessService(
+        executor=executor, workers=workers, solver_time_limit=solver_time_limit
+    )
+    return ServiceServer((host, port), service, verbose=verbose)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 1,
+    solver_time_limit: Optional[float] = None,
+    verbose: bool = False,
+) -> int:
+    """Run the HTTP service until interrupted (the ``repro serve`` command)."""
+    server = make_server(
+        host, port, workers=workers, solver_time_limit=solver_time_limit, verbose=verbose
+    )
+    print(f"repro service listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        server.service.close()
+    return 0

@@ -1,0 +1,274 @@
+"""The JSONL wire format: request/result codec for the service layer.
+
+One wire request is one JSON object (one line of a JSONL batch file)::
+
+    {"op": "refine",
+     "id": "job-17",
+     "dataset": {"builtin": "dbpedia-persons", "params": {"n_subjects": 500}},
+     "solver": "highs",
+     "request": {"rule": "Cov", "k": 2, "step": "1/10"}}
+
+``op`` selects the session verb (``evaluate`` / ``refine`` / ``lowest_k``
+/ ``sweep``); ``request`` carries the fields of the corresponding typed
+request object from :mod:`repro.api.requests` (fractions as ``"n/d"``
+strings, rules as built-in names or concrete-syntax text).  For
+convenience the request fields may also be spelled inline next to ``op``
+— the HTTP front-end posts ``{"dataset": ..., "rule": "Cov", "k": 2}``.
+
+Results travel back as scalar-only envelopes built from the typed
+results' ``to_dict()``::
+
+    {"ok": true,  "op": "refine", "id": "job-17", "result": {...}}
+    {"ok": false, "op": "refine", "id": "job-17", "status": 400,
+     "error": {"type": "RequestError", "message": "..."}}
+
+The codec is exact: ``parse_request(serialize_request(r))`` reproduces
+``r``, and an envelope compares bit-identical however it was produced
+(inline executor, worker pool, or HTTP) because everything in it comes
+from the same ``to_dict`` methods.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.api.requests import (
+    EvaluateRequest,
+    LowestKRequest,
+    RefineRequest,
+    SweepRequest,
+)
+from repro.exceptions import ReproError, RequestError
+from repro.rules.ast import Rule
+from repro.service.registry import DatasetSpec
+
+__all__ = [
+    "OPS",
+    "ServiceRequest",
+    "parse_request",
+    "serialize_request",
+    "parse_result",
+    "serialize_result",
+    "error_result",
+    "status_for_error",
+    "parse_jsonl",
+    "dump_jsonl",
+]
+
+#: op name → typed request class (the order is the documented op list).
+REQUEST_TYPES = {
+    "evaluate": EvaluateRequest,
+    "refine": RefineRequest,
+    "lowest_k": LowestKRequest,
+    "sweep": SweepRequest,
+}
+
+OPS: Tuple[str, ...] = tuple(REQUEST_TYPES)
+
+#: Envelope fields that are not request-object fields (inline spelling).
+_ENVELOPE_FIELDS = {"op", "id", "dataset", "solver", "request"}
+
+#: Library errors that are the caller's fault → HTTP 400, everything else 500.
+_CLIENT_ERROR_STATUS = 400
+_SERVER_ERROR_STATUS = 500
+
+
+def _encode_value(value: object) -> object:
+    """Lower one request field to a JSON scalar/list."""
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, Rule):
+        return value.to_text()
+    if isinstance(value, tuple):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def _request_params(request: object) -> Dict[str, object]:
+    """The typed request as a wire dict (fractions and rules lowered)."""
+    payload: Dict[str, object] = {}
+    for field in dataclass_fields(request):
+        value = getattr(request, field.name)
+        if value is None:
+            continue
+        payload[field.name] = _encode_value(value)
+    return payload
+
+
+def _parse_params(op: str, params: Dict[str, object]) -> object:
+    """Build and validate the typed request object for ``op``."""
+    request_type = REQUEST_TYPES[op]
+    known = {field.name for field in dataclass_fields(request_type)}
+    unknown = set(params) - known
+    if unknown:
+        raise RequestError(
+            f"unknown {op} request fields: {', '.join(sorted(unknown))} "
+            f"(expected a subset of: {', '.join(sorted(known))})"
+        )
+    kwargs = dict(params)
+    if "k_values" in kwargs and isinstance(kwargs["k_values"], list):
+        kwargs["k_values"] = tuple(kwargs["k_values"])
+    return request_type(**kwargs).validated()
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One fully-parsed wire request: op + dataset spec + typed request."""
+
+    op: str
+    dataset: DatasetSpec
+    request: object
+    solver: Optional[str] = None
+    id: Optional[str] = None
+
+    @property
+    def rule_key(self) -> str:
+        """A stable string for the request's rule (grouping, not identity)."""
+        rule = getattr(self.request, "rule", None)
+        return rule.to_text() if isinstance(rule, Rule) else str(rule)
+
+    @property
+    def group_key(self) -> Tuple[str, str, str]:
+        """The scheduling unit: requests sharing a key share one session."""
+        return (self.dataset.key, self.rule_key, self.solver or "")
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": self.op}
+        if self.id is not None:
+            payload["id"] = self.id
+        payload["dataset"] = self.dataset.to_dict()
+        if self.solver is not None:
+            payload["solver"] = self.solver
+        payload["request"] = _request_params(self.request)
+        return payload
+
+
+def parse_request(data: object) -> ServiceRequest:
+    """Parse a wire request from a dict, a JSON string, or pass one through.
+
+    Raises :class:`~repro.exceptions.RequestError` on malformed input —
+    unknown op, missing dataset, unknown fields, bad parameter values.
+    """
+    if isinstance(data, ServiceRequest):
+        return data
+    if isinstance(data, (str, bytes)):
+        try:
+            data = json.loads(data)
+        except json.JSONDecodeError as error:
+            raise RequestError(f"request line is not valid JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise RequestError(f"a wire request must be a JSON object, got {type(data).__name__}")
+    op = data.get("op")
+    if op not in REQUEST_TYPES:
+        known = ", ".join(OPS)
+        raise RequestError(f"unknown op {op!r}: expected one of {known}")
+    if "dataset" not in data:
+        raise RequestError("a wire request needs a 'dataset' spec")
+    dataset = DatasetSpec.from_dict(data["dataset"])
+    solver = data.get("solver")
+    if solver is not None and not isinstance(solver, str):
+        raise RequestError(f"'solver' must be a registered backend name, got {solver!r}")
+    request_id = data.get("id")
+    if request_id is not None and not isinstance(request_id, str):
+        request_id = str(request_id)
+    params = data.get("request")
+    if params is None:
+        # Inline spelling: request fields live next to the envelope fields.
+        params = {key: value for key, value in data.items() if key not in _ENVELOPE_FIELDS}
+    if not isinstance(params, dict):
+        raise RequestError(f"'request' must be an object of request fields, got {params!r}")
+    return ServiceRequest(
+        op=op,
+        dataset=dataset,
+        request=_parse_params(op, params),
+        solver=solver,
+        id=request_id,
+    )
+
+
+def serialize_request(request: ServiceRequest) -> str:
+    """One JSONL line for ``request`` (inverse of :func:`parse_request`)."""
+    return json.dumps(request.to_dict(), sort_keys=True)
+
+
+def _strip_timing(payload: object) -> object:
+    """Drop wall-clock fields from a result dict, recursively.
+
+    Wire payloads are *deterministic*: the same request must serialise to
+    the same bytes whether it ran inline, in a pool worker, or behind
+    HTTP.  ``total_time`` is the one nondeterministic field the typed
+    results carry; executors report aggregate timing through ``stats()``.
+    """
+    if isinstance(payload, dict):
+        return {
+            key: _strip_timing(value)
+            for key, value in payload.items()
+            if key != "total_time"
+        }
+    if isinstance(payload, list):
+        return [_strip_timing(item) for item in payload]
+    return payload
+
+
+def serialize_result(result: object, request: Optional[ServiceRequest] = None) -> Dict[str, object]:
+    """Wrap a typed result in an ``ok`` envelope (scalar-only payload)."""
+    envelope: Dict[str, object] = {"ok": True}
+    if request is not None:
+        envelope["op"] = request.op
+        if request.id is not None:
+            envelope["id"] = request.id
+    envelope["result"] = _strip_timing(result.to_dict())
+    return envelope
+
+
+def status_for_error(error: BaseException) -> int:
+    """The HTTP status an error maps to: 400 for caller mistakes, 500 else."""
+    return _CLIENT_ERROR_STATUS if isinstance(error, ReproError) else _SERVER_ERROR_STATUS
+
+
+def error_result(
+    error: BaseException, request: Optional[ServiceRequest] = None
+) -> Dict[str, object]:
+    """Wrap an exception in a ``not ok`` envelope with an HTTP status."""
+    envelope: Dict[str, object] = {"ok": False}
+    if request is not None:
+        envelope["op"] = request.op
+        if request.id is not None:
+            envelope["id"] = request.id
+    envelope["status"] = status_for_error(error)
+    envelope["error"] = {"type": type(error).__name__, "message": str(error)}
+    return envelope
+
+
+def parse_result(line: object) -> Dict[str, object]:
+    """Parse one result envelope from a JSON(L) line or dict."""
+    if isinstance(line, (str, bytes)):
+        try:
+            line = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise RequestError(f"result line is not valid JSON: {error}") from None
+    if not isinstance(line, dict) or "ok" not in line:
+        raise RequestError(f"a result envelope must be an object with 'ok', got {line!r}")
+    return line
+
+
+def parse_jsonl(text: str) -> List[ServiceRequest]:
+    """Parse a JSONL batch document (blank lines and ``#`` comments skipped)."""
+    requests = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            requests.append(parse_request(line))
+        except RequestError as error:
+            raise RequestError(f"line {lineno}: {error}") from None
+    return requests
+
+
+def dump_jsonl(envelopes: Iterable[Dict[str, object]]) -> str:
+    """Serialise result envelopes as a JSONL document (sorted keys)."""
+    return "\n".join(json.dumps(envelope, sort_keys=True) for envelope in envelopes)

@@ -14,6 +14,8 @@ The acceptance-critical properties:
 from __future__ import annotations
 
 import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -214,6 +216,86 @@ class TestSessionCaching:
         )
 
 
+class TestThreadSafety:
+    """The PR 2 "zero redundant builds" guarantees, under concurrency."""
+
+    def test_threaded_access_builds_each_stage_once(self, monkeypatch):
+        """16 threads racing the lazy chain trigger exactly one build each."""
+        builds = {"matrix": 0, "graph": 0}
+        original_from_matrix = SignatureTable.from_matrix.__func__
+
+        def counting_from_matrix(cls, *args, **kwargs):
+            builds["matrix"] += 1
+            return original_from_matrix(cls, *args, **kwargs)
+
+        monkeypatch.setattr(SignatureTable, "from_matrix", classmethod(counting_from_matrix))
+
+        dataset = Dataset.from_ntriples_text(NTRIPLES, name="threaded builds")
+        barrier = threading.Barrier(16)
+
+        def build():
+            barrier.wait()
+            return dataset.table
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            tables = list(pool.map(lambda _: build(), range(16)))
+        assert all(table is tables[0] for table in tables)
+        assert builds["matrix"] == 1
+        assert dataset.stats == {"graph_builds": 1, "matrix_builds": 1, "table_builds": 1}
+
+    def test_threaded_identical_refines_solve_once(self, toy_persons_table):
+        """Concurrent identical requests: one search, the rest cache hits."""
+        session = Dataset.from_table(toy_persons_table).session()
+        barrier = threading.Barrier(8)
+
+        def refine(_):
+            barrier.wait()
+            return session.refine("Cov", k=2, step=0.1)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(refine, range(8)))
+        thetas = {result.theta for result in results}
+        assert len(thetas) == 1
+        # Exactly one caller ran the search; everyone else was served from
+        # the result cache without touching the solver.
+        fresh = [result for result in results if not result.cached]
+        assert len(fresh) == 1
+        assert session.stats["solver_calls"] == fresh[0].n_solver_probes
+        assert session.stats["result_cache_hits"] == 7
+        assert session.stats["requests"] == 8
+
+    def test_threaded_mixed_queries_match_sequential_answers(self, toy_persons_table):
+        session = Dataset.from_table(toy_persons_table).session()
+        reference = Dataset.from_table(toy_persons_table).session()
+        expected = {
+            "evaluate": reference.evaluate("Cov").value,
+            "refine": reference.refine("Cov", k=2, step=0.25).theta,
+            "lowest_k": reference.lowest_k("Cov", theta="1/2").k,
+        }
+
+        def run(kind):
+            if kind == "evaluate":
+                return session.evaluate("Cov").value
+            if kind == "refine":
+                return session.refine("Cov", k=2, step=0.25).theta
+            return session.lowest_k("Cov", theta="1/2").k
+
+        kinds = ["evaluate", "refine", "lowest_k"] * 4
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(run, kinds))
+        for kind, value in zip(kinds, results):
+            assert value == expected[kind]
+
+    def test_describe_reports_binding_and_counters(self, toy_persons_table):
+        session = Dataset.from_table(toy_persons_table).session(solver="branch-and-bound")
+        session.evaluate("Cov")
+        description = session.describe()
+        assert description["solver_spec"] == "branch-and-bound"
+        assert description["solver"] == "branch-and-bound"
+        assert description["stats"]["requests"] == 1
+        assert json.loads(json.dumps(description)) == description
+
+
 class TestSessionResults:
     def test_refinement_result_serialises(self, toy_persons_table):
         session = Dataset.from_table(toy_persons_table).session()
@@ -260,6 +342,19 @@ class TestRequests:
         with pytest.raises(RequestError):
             parse_theta(bad)
 
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf"), "nan", "inf", True, False]
+    )
+    def test_parse_theta_rejects_non_finite_values(self, bad):
+        """NaN/inf (and bools) must raise RequestError, never leak through."""
+        with pytest.raises(RequestError):
+            parse_theta(bad)
+
+    @pytest.mark.parametrize("bad", ["3/-4", "1/+2", "-3/-4", "3/0"])
+    def test_parse_theta_rejects_signed_and_zero_denominators(self, bad):
+        with pytest.raises(RequestError):
+            parse_theta(bad)
+
     def test_refine_request_validation(self):
         with pytest.raises(RequestError):
             RefineRequest(k=0).validated()
@@ -295,8 +390,15 @@ class TestSolverRegistry:
         assert isinstance(get_solver("branch-and-bound"), BranchAndBoundSolver)
 
     def test_unknown_name_rejected_with_known_names(self):
-        with pytest.raises(ILPError, match="unknown solver 'cplex'"):
+        with pytest.raises(ILPError, match="unknown solver 'cplex'") as excinfo:
             get_solver("cplex")
+        message = str(excinfo.value)
+        for name in solver_names():
+            assert name in message
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(ILPError, match="did you mean 'highs'"):
+            get_solver("hihgs")
 
     def test_resolve_solver_passes_instances_through(self):
         instance = BranchAndBoundSolver()

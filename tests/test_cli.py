@@ -140,3 +140,55 @@ class TestExperiment:
     def test_bad_param_syntax(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table1", "--param", "oops"])
+
+
+class TestBatch:
+    def _write_jsonl(self, tmp_path, requests):
+        import json
+
+        path = tmp_path / "jobs.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in requests))
+        return str(path)
+
+    def test_batch_inline_to_stdout(self, tmp_path, capsys):
+        import json
+
+        path = self._write_jsonl(
+            tmp_path,
+            [
+                {"op": "evaluate", "dataset": "dbpedia-persons", "request": {"rule": "Cov"}},
+                {"op": "refine", "dataset": "dbpedia-persons",
+                 "request": {"rule": "Cov", "k": 2, "step": "1/4"}},
+            ],
+        )
+        assert main(["batch", path]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        envelopes = [json.loads(line) for line in lines]
+        assert len(envelopes) == 2 and all(e["ok"] for e in envelopes)
+        assert envelopes[0]["result"]["rule"] == "Cov"
+
+    def test_batch_output_file_and_stats(self, tmp_path, capsys):
+        import json
+
+        path = self._write_jsonl(
+            tmp_path,
+            [{"op": "evaluate", "dataset": "wordnet-nouns", "request": {"rule": "Sim"}}],
+        )
+        out = tmp_path / "results.jsonl"
+        assert main(["batch", path, "--output", str(out), "--stats"]) == 0
+        captured = capsys.readouterr()
+        envelope = json.loads(out.read_text().strip())
+        assert envelope["ok"] and envelope["result"]["rule"] == "Sim"
+        stats = json.loads(captured.err.strip())
+        assert stats["mode"] == "inline" and stats["sessions"]
+
+    def test_batch_bad_line_fails_with_message(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"op": "nope"}\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", str(path)])
+        assert "line 1" in str(excinfo.value)
+
+    def test_parser_knows_batch_and_serve(self):
+        text = build_parser().format_help()
+        assert "batch" in text and "serve" in text

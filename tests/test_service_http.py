@@ -1,0 +1,191 @@
+"""Tests for the HTTP front-end (:mod:`repro.service.server`).
+
+A real ``ThreadingHTTPServer`` is bound to an ephemeral port and driven
+through ``urllib`` — the same path ``curl`` takes — so routing, status
+mapping and payload determinism are exercised end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import InlineExecutor, make_server
+from repro.service.wire import _strip_timing
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = make_server(host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=5)
+
+
+def _request(server, path, body=None, content_type="application/json"):
+    url = server.url + path
+    if body is None:
+        request = urllib.request.Request(url)
+    else:
+        data = body.encode() if isinstance(body, str) else json.dumps(body).encode()
+        request = urllib.request.Request(url, data=data, headers={"Content-Type": content_type})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        assert _request(server, "/healthz") == (200, {"ok": True})
+
+    def test_evaluate(self, server):
+        status, payload = _request(
+            server,
+            "/v1/evaluate",
+            {"dataset": {"builtin": "dbpedia-persons", "params": {"n_subjects": 300}},
+             "rule": "Cov", "exact": True},
+        )
+        assert status == 200 and payload["ok"]
+        assert payload["result"]["rule"] == "Cov"
+        assert 0 < payload["result"]["value"] < 1
+        assert "/" in payload["result"]["exact"]
+
+    def test_refine_matches_inline_executor(self, server):
+        body = {
+            "dataset": {"builtin": "dbpedia-persons", "params": {"n_subjects": 300}},
+            "request": {"rule": "Cov", "k": 2, "step": "1/4"},
+        }
+        status, payload = _request(server, "/v1/refine", body)
+        assert status == 200 and payload["ok"]
+        reference = InlineExecutor().execute([dict(body, op="refine")])[0]
+        assert payload["result"] == reference["result"]
+
+    def test_lowest_k_and_sweep(self, server):
+        dataset = {"builtin": "dbpedia-persons", "params": {"n_subjects": 300}}
+        status, payload = _request(
+            server, "/v1/lowest_k", {"dataset": dataset, "theta": "1/2"}
+        )
+        assert status == 200 and payload["result"]["kind"] == "lowest_k"
+        status, payload = _request(
+            server, "/v1/sweep", {"dataset": dataset, "k_values": [2, 3], "step": "1/4"}
+        )
+        assert status == 200 and len(payload["result"]["entries"]) == 2
+
+    def test_batch_json_and_ndjson(self, server):
+        requests = [
+            {"op": "evaluate", "dataset": "wordnet-nouns", "request": {"rule": "Cov"}},
+            {"op": "evaluate", "dataset": "wordnet-nouns", "request": {"rule": "Sim"}},
+        ]
+        status, payload = _request(server, "/v1/batch", {"requests": requests})
+        assert status == 200 and payload["count"] == 2
+        assert all(env["ok"] for env in payload["results"])
+        ndjson = "\n".join(json.dumps(r) for r in requests)
+        status, again = _request(server, "/v1/batch", ndjson, "application/x-ndjson")
+        assert status == 200
+        assert again["results"] == payload["results"]
+
+    def test_datasets_lists_builtins_and_loaded(self, server):
+        status, payload = _request(server, "/v1/datasets")
+        assert status == 200
+        assert {"dbpedia-persons", "wordnet-nouns"} <= set(payload["builtin"])
+        assert isinstance(payload["loaded"], list)
+
+    def test_stats_report_sessions_and_backends(self, server):
+        _request(server, "/v1/evaluate", {"dataset": "wordnet-nouns", "rule": "Cov"})
+        status, payload = _request(server, "/v1/stats")
+        assert status == 200
+        assert payload["server"]["http_requests"] > 0
+        sessions = payload["executor"]["sessions"]
+        assert sessions and all("solver" in s and "solver_spec" in s for s in sessions)
+        assert payload["executor"]["registry"]["builds"] >= 1
+
+
+class TestErrorMapping:
+    def test_unknown_route_404(self, server):
+        assert _request(server, "/nope")[0] == 404
+        assert _request(server, "/v1/transmogrify", {})[0] == 404
+
+    def test_invalid_json_body_400(self, server):
+        status, payload = _request(server, "/v1/evaluate", "{not json")
+        assert status == 400
+        assert payload["error"]["type"] == "RequestError"
+
+    @pytest.mark.parametrize(
+        "path,body,fragment",
+        [
+            ("/v1/lowest_k", {"dataset": "dbpedia-persons", "theta": "4/3"}, "theta"),
+            ("/v1/lowest_k", {"dataset": "dbpedia-persons", "theta": "3/-4"}, "denominator"),
+            ("/v1/refine", {"dataset": "dbpedia-persons", "k": 0}, "k"),
+            ("/v1/refine", {"dataset": "dbpedia-persons", "k": 2, "wat": 1}, "unknown"),
+            ("/v1/evaluate", {"dataset": {"builtin": "nope"}}, "unknown built-in"),
+            ("/v1/evaluate", {"dataset": "dbpedia-persons", "rule": "Nope"}, "unknown rule"),
+        ],
+    )
+    def test_bad_requests_are_400_with_structured_bodies(self, server, path, body, fragment):
+        status, payload = _request(server, path, body)
+        assert status == 400, payload
+        assert payload["ok"] is False
+        assert fragment in payload["error"]["message"]
+        # Structured error body, never a traceback page.
+        assert set(payload["error"]) == {"type", "message"}
+
+    def test_unknown_solver_400_lists_names(self, server):
+        status, payload = _request(
+            server, "/v1/evaluate", {"dataset": "dbpedia-persons", "solver": "cplex", "rule": "Cov"}
+        )
+        assert status == 400
+        assert "registered solvers" in payload["error"]["message"]
+
+    def test_batch_body_must_be_requests_list(self, server):
+        status, payload = _request(server, "/v1/batch", {"jobs": []})
+        assert status == 400
+        assert "requests" in payload["error"]["message"]
+
+    def test_ndjson_and_json_batches_share_error_semantics(self, server):
+        """A malformed entry yields an error envelope in its slot, both ways."""
+        requests = [
+            {"op": "evaluate", "dataset": "wordnet-nouns", "request": {"rule": "Cov"}},
+            {"op": "transmogrify", "dataset": "wordnet-nouns"},
+            {"op": "evaluate", "dataset": "wordnet-nouns", "request": {"rule": "Sim"}},
+        ]
+        status, as_list = _request(server, "/v1/batch", {"requests": requests})
+        assert status == 200
+        ndjson = "\n".join(json.dumps(r) for r in requests)
+        status, as_lines = _request(server, "/v1/batch", ndjson, "application/x-ndjson")
+        assert status == 200
+        assert as_lines["results"] == as_list["results"]
+        oks = [envelope["ok"] for envelope in as_list["results"]]
+        assert oks == [True, False, True]
+        assert as_list["results"][1]["status"] == 400
+
+
+class TestConcurrency:
+    def test_parallel_identical_requests_agree_and_share_builds(self, server):
+        """Eight concurrent HTTP callers: one table build, identical bodies."""
+        body = {
+            "dataset": {"builtin": "dbpedia-persons", "params": {"n_subjects": 250, "seed": 3}},
+            "request": {"rule": "Cov", "k": 2, "step": "1/4"},
+        }
+        results = [None] * 8
+        def call(i):
+            results[i] = _request(server, "/v1/refine", body)
+        threads = [threading.Thread(target=call, args=(i,)) for i in range(len(results))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        statuses = {status for status, _ in results}
+        assert statuses == {200}
+        payloads = [_strip_timing(dict(payload["result"], cached=False)) for _, payload in results]
+        assert all(p == payloads[0] for p in payloads)
+        registry = server.service.executor.registry
+        spec_key = [e for e in registry.describe() if e["spec"].get("params", {}).get("seed") == 3]
+        assert len(spec_key) == 1  # the dataset was materialised exactly once

@@ -1,0 +1,195 @@
+"""Tests for the JSONL wire codec (:mod:`repro.service.wire`).
+
+The codec contract: every request round-trips exactly through
+``serialize → parse``, and every result executed from a parsed request is
+equal to the in-process facade answer for the same typed request.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.api import Dataset
+from repro.api.requests import (
+    EvaluateRequest,
+    LowestKRequest,
+    RefineRequest,
+    SweepRequest,
+)
+from repro.exceptions import RequestError
+from repro.rules.parser import parse_rule
+from repro.service import (
+    DatasetSpec,
+    InlineExecutor,
+    ServiceRequest,
+    dump_jsonl,
+    error_result,
+    parse_jsonl,
+    parse_request,
+    parse_result,
+    serialize_request,
+    serialize_result,
+)
+from repro.service.wire import _strip_timing
+
+SPEC = DatasetSpec(builtin="dbpedia-persons", params=(("n_subjects", 400), ("seed", 7)))
+
+#: One representative typed request per op (fractions, rules, tuples).
+TYPED_REQUESTS = {
+    "evaluate": EvaluateRequest(rule="Cov", exact=True),
+    "refine": RefineRequest(rule="Sim", k=2, step=Fraction(1, 4), max_probes=50),
+    "lowest_k": LowestKRequest(rule="Cov", theta=Fraction(1, 2), direction="down"),
+    "sweep": SweepRequest(rule="Cov", k_values=(2, 3), step=Fraction(1, 4)),
+}
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize("op", sorted(TYPED_REQUESTS))
+    def test_serialize_parse_is_identity(self, op):
+        request = ServiceRequest(
+            op=op, dataset=SPEC, request=TYPED_REQUESTS[op].validated(), id=f"job-{op}"
+        )
+        line = serialize_request(request)
+        parsed = parse_request(line)
+        assert parsed == request
+        # And the line itself is stable under a second round trip.
+        assert serialize_request(parsed) == line
+
+    def test_rule_objects_serialise_as_text(self):
+        rule = parse_rule("c = c -> val(c) = 1")
+        request = ServiceRequest(
+            op="evaluate", dataset=SPEC, request=EvaluateRequest(rule=rule)
+        )
+        payload = request.to_dict()
+        assert payload["request"]["rule"] == rule.to_text()
+        assert parse_request(payload).rule_key == rule.to_text()
+
+    def test_fractions_serialise_as_strings(self):
+        request = ServiceRequest(
+            op="refine",
+            dataset=SPEC,
+            request=RefineRequest(rule="Cov", k=2, step=Fraction(1, 10)).validated(),
+        )
+        assert request.to_dict()["request"]["step"] == "1/10"
+        assert parse_request(request.to_dict()).request.step == Fraction(1, 10)
+
+    def test_inline_field_spelling(self):
+        parsed = parse_request(
+            {"op": "refine", "dataset": "dbpedia-persons", "rule": "Cov", "k": 3}
+        )
+        assert parsed.request == RefineRequest(rule="Cov", k=3).validated()
+
+    def test_bare_dataset_name(self):
+        parsed = parse_request({"op": "evaluate", "dataset": "wordnet-nouns"})
+        assert parsed.dataset == DatasetSpec(builtin="wordnet-nouns")
+
+    def test_group_key_separates_datasets_rules_and_solvers(self):
+        base = {"op": "evaluate", "dataset": "dbpedia-persons", "rule": "Cov"}
+        key = parse_request(base).group_key
+        assert parse_request(dict(base)).group_key == key
+        assert parse_request(dict(base, rule="Sim")).group_key != key
+        assert parse_request(dict(base, dataset="wordnet-nouns")).group_key != key
+        assert parse_request(dict(base, solver="branch-and-bound")).group_key != key
+
+
+class TestRequestValidation:
+    def test_unknown_op(self):
+        with pytest.raises(RequestError, match="unknown op"):
+            parse_request({"op": "transmogrify", "dataset": "dbpedia-persons"})
+
+    def test_missing_dataset(self):
+        with pytest.raises(RequestError, match="dataset"):
+            parse_request({"op": "evaluate"})
+
+    def test_unknown_request_fields(self):
+        with pytest.raises(RequestError, match="unknown refine request fields: wat"):
+            parse_request({"op": "refine", "dataset": "dbpedia-persons", "wat": 1})
+
+    def test_invalid_json_line(self):
+        with pytest.raises(RequestError, match="not valid JSON"):
+            parse_request("{nope")
+
+    def test_dataset_spec_needs_exactly_one_source(self):
+        with pytest.raises(RequestError, match="exactly one"):
+            DatasetSpec.from_dict({"builtin": "x", "path": "y"})
+        with pytest.raises(RequestError, match="exactly one"):
+            DatasetSpec.from_dict({})
+
+    def test_dataset_spec_rejects_unknown_fields_and_bad_params(self):
+        with pytest.raises(RequestError, match="unknown dataset spec fields"):
+            DatasetSpec.from_dict({"builtin": "x", "nope": 1})
+        with pytest.raises(RequestError, match="JSON scalars"):
+            DatasetSpec.from_dict({"builtin": "x", "params": {"n": [1, 2]}})
+
+    def test_bad_theta_in_wire_request(self):
+        with pytest.raises(RequestError, match="theta"):
+            parse_request(
+                {"op": "lowest_k", "dataset": "dbpedia-persons", "theta": "4/3"}
+            )
+
+
+class TestJsonl:
+    def test_parse_jsonl_skips_blanks_and_comments(self):
+        text = "\n".join(
+            [
+                "# a comment",
+                "",
+                json.dumps({"op": "evaluate", "dataset": "dbpedia-persons"}),
+            ]
+        )
+        requests = parse_jsonl(text)
+        assert len(requests) == 1 and requests[0].op == "evaluate"
+
+    def test_parse_jsonl_reports_line_numbers(self):
+        good = json.dumps({"op": "evaluate", "dataset": "dbpedia-persons"})
+        with pytest.raises(RequestError, match="line 2"):
+            parse_jsonl(good + "\n{bad\n")
+
+    def test_dump_jsonl_round_trips_envelopes(self):
+        envelopes = [
+            {"ok": True, "result": {"value": 0.5}},
+            error_result(RequestError("nope")),
+        ]
+        lines = dump_jsonl(envelopes).splitlines()
+        assert [parse_result(line) for line in lines] == envelopes
+
+    def test_parse_result_rejects_garbage(self):
+        with pytest.raises(RequestError):
+            parse_result("{bad")
+        with pytest.raises(RequestError):
+            parse_result({"no_ok_field": 1})
+
+
+class TestResultEnvelopes:
+    @pytest.mark.parametrize("op", sorted(TYPED_REQUESTS))
+    def test_executed_envelope_matches_facade_answer(self, op):
+        """serialize → parse → execute equals the direct facade ``to_dict``."""
+        wire = ServiceRequest(
+            op=op, dataset=SPEC, request=TYPED_REQUESTS[op].validated(), id="x"
+        )
+        parsed = parse_request(serialize_request(wire))
+        executor = InlineExecutor()
+        envelope = executor.execute([parsed])[0]
+        assert envelope["ok"] and envelope["op"] == op and envelope["id"] == "x"
+
+        session = Dataset.builtin("dbpedia-persons", n_subjects=400, seed=7).session()
+        direct = getattr(session, op)(TYPED_REQUESTS[op].validated())
+        assert envelope["result"] == _strip_timing(direct.to_dict())
+        # The envelope itself is pure JSON (scalar-only payload).
+        assert json.loads(json.dumps(envelope)) == envelope
+
+    def test_serialize_result_strips_wall_clock(self, toy_persons_table):
+        session = Dataset.from_table(toy_persons_table).session()
+        result = session.refine("Cov", k=2, step=0.25)
+        envelope = serialize_result(result)
+        assert "total_time" not in envelope["result"]
+        assert result.to_dict()["total_time"] >= 0  # still on the typed result
+
+    def test_error_result_statuses(self):
+        assert error_result(RequestError("x"))["status"] == 400
+        assert error_result(RuntimeError("x"))["status"] == 500
+        envelope = error_result(RequestError("boom"))
+        assert envelope["error"] == {"type": "RequestError", "message": "boom"}
