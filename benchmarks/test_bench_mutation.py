@@ -1,0 +1,94 @@
+"""Benchmark: incremental signature maintenance vs full rebuild.
+
+The ISSUE-4 acceptance scenario: a 1% delta (500 of 50,000 subjects each
+lose one triple and gain one with a brand-new property) applied to the
+YAGO-scale synthetic sort used by ``test_bench_signature_table_build``.
+Both paths start from the same mutated graph; the *incremental* path
+patches the prebuilt ``PropertyMatrix``/``SignatureTable`` with
+``apply_delta``, the *rebuild* path runs ``from_graph``/``from_matrix``
+from scratch.  The patched artifacts must be bit-identical to the
+rebuild, and incremental must win on wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.synthetic import graph_from_signature_table, random_signature_table
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.terms import Literal, URI
+
+N_SUBJECTS = 50_000
+DELTA_FRACTION = 0.01
+ROUNDS = 3
+
+
+def _best_of(rounds, fn):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_mutation_1pct_delta_incremental_vs_rebuild(capsys):
+    reference = random_signature_table(
+        n_properties=40, n_signatures=64, n_subjects=N_SUBJECTS, seed=7
+    )
+    graph = graph_from_signature_table(reference, "http://yago-knowledge.org/resource/T")
+    matrix = PropertyMatrix.from_graph(graph)
+    table = SignatureTable.from_matrix(matrix)
+
+    # The 1% delta: every touched subject loses its first triple and gains
+    # one with a property outside the current universe.
+    n_touched = int(N_SUBJECTS * DELTA_FRACTION)
+    stride = max(1, len(matrix.subjects) // n_touched)
+    touched = matrix.subjects[::stride][:n_touched]
+    remove, add = [], []
+    for i, subject in enumerate(touched):
+        remove.append(next(iter(graph.triples_for_subject(subject))))
+        add.append((subject, URI("http://yago-knowledge.org/resource/extra"), Literal(f"x{i}")))
+
+    # Mutate the graph in place once; both measured paths start from the
+    # mutated graph, so the O(delta) graph update cost cancels out.
+    delta = graph.remove_triples(remove).merge(graph.add_triples(add))
+    assert delta.removed == len(remove) and delta.added == len(add)
+
+    t_rebuild, (rebuilt_matrix, rebuilt_table) = _best_of(
+        ROUNDS,
+        lambda: (
+            (m := PropertyMatrix.from_graph(graph)),
+            SignatureTable.from_matrix(m),
+        ),
+    )
+    t_incremental, (patched_matrix, patched_table) = _best_of(
+        ROUNDS,
+        lambda: (
+            (m := matrix.apply_delta(graph, delta)),
+            table.apply_delta(m, delta),
+        ),
+    )
+
+    # Bit-identity first — a fast wrong answer is worthless.
+    assert patched_matrix == rebuilt_matrix
+    assert patched_table == rebuilt_table
+    for signature in rebuilt_table.signatures:
+        assert patched_table.members_of(signature) == rebuilt_table.members_of(signature)
+
+    speedup = t_rebuild / t_incremental
+    with capsys.disabled():
+        print()
+        print(
+            f"mutation benchmark ({n_touched}/{N_SUBJECTS} subjects touched): "
+            f"full rebuild {t_rebuild * 1e3:.1f} ms, "
+            f"incremental {t_incremental * 1e3:.1f} ms, "
+            f"speedup {speedup:.1f}x"
+        )
+    # The acceptance bar: incremental update beats the full rebuild.
+    assert t_incremental < t_rebuild, (
+        f"incremental update ({t_incremental:.3f}s) did not beat the "
+        f"full rebuild ({t_rebuild:.3f}s)"
+    )

@@ -62,7 +62,7 @@ from repro.exceptions import (
     RuleError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Top-level conveniences resolved lazily so that ``import repro`` stays
 #: lightweight (the api package pulls in numpy/scipy-backed layers).

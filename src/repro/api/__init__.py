@@ -28,6 +28,7 @@ from repro.api.dataset import Dataset, builtin_dataset_names, register_builtin_d
 from repro.api.requests import (
     EvaluateRequest,
     LowestKRequest,
+    MutationRequest,
     RefineRequest,
     RuleSpec,
     SweepRequest,
@@ -37,6 +38,7 @@ from repro.api.requests import (
 from repro.api.results import (
     DatasetInfo,
     EvaluationResult,
+    MutationResult,
     RefinementResult,
     SortSummary,
     SweepResult,
@@ -59,6 +61,8 @@ __all__ = [
     "SweepRequest",
     "DatasetInfo",
     "EvaluationResult",
+    "MutationRequest",
+    "MutationResult",
     "SortSummary",
     "RefinementResult",
     "SweepResult",

@@ -18,8 +18,9 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Optional
 
-from repro.exceptions import DatasetError
-from repro.api.results import DatasetInfo
+from repro.exceptions import DatasetError, RequestError
+from repro.api.requests import MutationRequest
+from repro.api.results import DatasetInfo, MutationResult
 from repro.matrix.property_matrix import PropertyMatrix
 from repro.matrix.signatures import SignatureTable
 from repro.rdf.graph import RDFGraph
@@ -97,8 +98,22 @@ class Dataset:
         # A deferred generator producing either a SignatureTable or an
         # RDFGraph (Dataset.builtin); run at most once, on first access.
         self._artifact_factory = artifact_factory
-        #: How many times each stage of the chain was actually built.
-        self.stats: Dict[str, int] = {"graph_builds": 0, "matrix_builds": 0, "table_builds": 0}
+        #: How many times each stage of the chain was actually built, how
+        #: many mutations were applied and how often the matrix/table were
+        #: incrementally patched instead of rebuilt.
+        self.stats: Dict[str, int] = {
+            "graph_builds": 0,
+            "matrix_builds": 0,
+            "table_builds": 0,
+            "mutations": 0,
+            "matrix_patches": 0,
+            "table_patches": 0,
+            "patch_failures": 0,
+        }
+        # Bumped by every mutation that changes the graph; sessions compare
+        # it against the generation they last served from to invalidate
+        # exactly their stale result caches.
+        self._generation = 0
         # Guards the lazy build chain: concurrent accessors (a threaded
         # service serving one dataset to many sessions) must never trigger
         # duplicate graph/matrix/table builds.  Reentrant because the
@@ -172,11 +187,24 @@ class Dataset:
 
     @classmethod
     def from_graph(cls, graph: RDFGraph, name: str = "", sort: Optional[object] = None) -> "Dataset":
-        """Wrap an existing :class:`RDFGraph` (optionally one rdf:type sort of it)."""
+        """Wrap an existing :class:`RDFGraph` (optionally one rdf:type sort of it).
+
+        The handle takes *ownership* for mutation purposes: :meth:`mutate`
+        changes the wrapped graph in place and bumps only this handle's
+        generation.  Do not wrap one graph object in several handles (or
+        keep mutating it directly) — sibling handles cannot see the
+        mutation and would serve stale cached views; give each handle its
+        own ``graph.copy()`` instead.
+
+        With ``sort``, the restricted view is snapshotted *now* into an
+        independent graph (the same timing-independent semantics as
+        :meth:`with_sort`): later mutations of ``graph`` do not leak in.
+        """
         if sort:
-            return cls(
-                name=name or graph.name, graph_factory=lambda: graph.sort_subgraph(sort)
+            snapshot = RDFGraph(
+                list(graph.sort_subgraph(sort)), name=name or graph.name
             )
+            return cls(name=snapshot.name, graph=snapshot)
         return cls(name=name or graph.name, graph=graph)
 
     @classmethod
@@ -254,14 +282,115 @@ class Dataset:
         )
 
     # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """How many graph-changing mutations this dataset has seen."""
+        with self._lock:
+            return self._generation
+
+    def mutate(self, request: object = None, /, *, add=(), remove=()) -> MutationResult:
+        """Apply a triple delta to the graph and maintain the cached chain.
+
+        Accepts a :class:`~repro.api.requests.MutationRequest` or
+        ``add=`` / ``remove=`` keyword collections of triples.  Removals
+        run before insertions.  Whatever downstream stages are already
+        built are *incrementally patched* — ``PropertyMatrix.apply_delta``
+        and ``SignatureTable.apply_delta`` re-derive only the touched
+        subjects, bit-identical to a from-scratch rebuild — and the
+        generation counter tells owning sessions to drop their result
+        caches.  Per-table derived views (counting tables, encoder state)
+        are keyed on the table's *identity* and the patched table is a new
+        object, so they can never serve stale data.
+
+        Change detection is per applied triple, deliberately conservative:
+        a request that removes and re-inserts the same triple nets to no
+        graph change but still counts as a mutation (generation bumps,
+        caches invalidate) — over-invalidation is always safe, staleness
+        never is.
+
+        Raises :class:`~repro.exceptions.DatasetError` for datasets built
+        directly from a matrix or signature table: mutation needs the
+        graph stage.
+        """
+        if request is None:
+            # validated() rejects non-collection values with a message
+            # naming the field, so no pre-coercion here.
+            req = MutationRequest(add=add, remove=remove).validated()
+        elif isinstance(request, MutationRequest):
+            if add or remove:
+                raise RequestError(
+                    "pass either a MutationRequest or add=/remove= keywords, not both"
+                )
+            req = request.validated()
+        else:
+            raise RequestError(
+                f"mutate needs a MutationRequest or add=/remove= keywords, "
+                f"got {request!r}"
+            )
+        with self._lock:
+            graph = self.graph  # DatasetError for matrix/table-born datasets
+            # validated() fully coerced every term up front, so applying
+            # the delta cannot fail half-way and the mutation is atomic.
+            delta = graph.remove_triples(req.remove).merge(graph.add_triples(req.add))
+            if not delta.is_empty:
+                self._generation += 1
+                self.stats["mutations"] += 1
+                try:
+                    matrix_patched = table_patched = False
+                    if self._matrix is not None:
+                        self._matrix = self._matrix.apply_delta(graph, delta)
+                        matrix_patched = True
+                    if self._table is not None:
+                        if self._matrix is not None and self._table.has_members:
+                            self._table = self._table.apply_delta(self._matrix, delta)
+                            table_patched = True
+                        else:
+                            # No per-subject provenance to patch from: drop
+                            # the stage and let the next access rebuild it.
+                            self._table = None
+                    # Counted only once the whole chain patched: a patch
+                    # that was discarded by the failure path below must not
+                    # inflate the zero-redundant-build accounting.
+                    self.stats["matrix_patches"] += int(matrix_patched)
+                    self.stats["table_patches"] += int(table_patched)
+                except Exception:
+                    # The graph already changed, so a validated mutation
+                    # must still *succeed* — otherwise distributed callers
+                    # (pool workers replaying a mutation log) would treat
+                    # an applied mutation as failed and diverge.  Degrade:
+                    # drop the chain, let the next access rebuild from the
+                    # mutated graph, and count the event.
+                    self._matrix = None
+                    self._table = None
+                    self.stats["patch_failures"] += 1
+            return MutationResult(
+                dataset=self._name,
+                generation=self._generation,
+                added=delta.added,
+                removed=delta.removed,
+                touched_subjects=len(delta.subjects),
+                n_triples=len(graph),
+                n_subjects=graph.n_subjects,
+            )
+
+    # ------------------------------------------------------------------ #
     # Derived datasets and sessions
     # ------------------------------------------------------------------ #
     def with_sort(self, sort: object, name: str = "") -> "Dataset":
-        """A new handle restricted to the subjects of one explicit sort."""
-        return Dataset(
-            name=name or f"{self._name} [{sort}]",
-            graph_factory=lambda: self.graph.sort_subgraph(sort),
-        )
+        """A new handle restricted to the subjects of one explicit sort.
+
+        The derived handle is a *snapshot*: the subgraph is extracted
+        immediately (under this dataset's lock, so a concurrent mutation
+        cannot tear it) into an independent graph with its own term
+        dictionary.  Later mutations of either handle never propagate to
+        the other — the same snapshot semantics :meth:`folded` has.
+        """
+        with self._lock:
+            subgraph = self.graph.sort_subgraph(sort)
+        snapshot = RDFGraph(list(subgraph), name=name or f"{self._name} [{sort}]")
+        return Dataset(name=snapshot.name, graph=snapshot)
 
     def folded(self, max_signatures: int, name: str = "") -> "Dataset":
         """A new handle whose signature tail is folded to ``max_signatures``.

@@ -14,17 +14,20 @@ from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Optional, Tuple, Union
 
-from repro.exceptions import RequestError
+from repro.exceptions import RDFError, RequestError
+from repro.rdf.terms import Literal, Triple, URI
 from repro.rules.ast import Rule
 
 __all__ = [
     "RuleSpec",
     "ThetaSpec",
     "parse_theta",
+    "parse_wire_term",
     "EvaluateRequest",
     "RefineRequest",
     "LowestKRequest",
     "SweepRequest",
+    "MutationRequest",
 ]
 
 #: What session methods accept as a rule: a built-in name ("Cov", "Sim"),
@@ -81,6 +84,101 @@ def _check_positive_int(value: object, what: str) -> int:
     if not isinstance(value, int) or isinstance(value, bool) or value < 1:
         raise RequestError(f"{what} must be a positive integer, got {value!r}")
     return value
+
+
+def parse_wire_term(value: object, allow_literal: bool = True) -> object:
+    """Decode one triple term from its wire spelling.
+
+    ``URI``/``Literal`` instances pass through.  Strings use an
+    N-Triples-flavoured convention: ``"..."`` (quoted) becomes a
+    :class:`Literal` (with ``\\n``/``\\"``-style escapes undone, the
+    inverse of ``Literal.n3``), ``<...>`` an explicit :class:`URI`, and
+    any other string a URI — matching how the rest of the library coerces
+    plain strings.  Non-string scalars become literals.
+    """
+    if isinstance(value, (URI, Literal)):
+        if isinstance(value, Literal) and not allow_literal:
+            raise RequestError(f"expected a URI, got the literal {value!r}")
+        return value
+    if isinstance(value, str):
+        if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+            if not allow_literal:
+                raise RequestError(f"expected a URI, got the literal {value!r}")
+            from repro.rdf.ntriples import unescape_literal
+
+            try:
+                return Literal(unescape_literal(value[1:-1]))
+            except ValueError as error:
+                raise RequestError(str(error)) from None
+        if len(value) >= 2 and value[0] == "<" and value[-1] == ">":
+            value = value[1:-1]
+        try:
+            return URI(value)
+        except RDFError as error:
+            raise RequestError(str(error)) from None
+    if (
+        allow_literal
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    ):
+        # Numeric scalars become literals of their decimal form; null and
+        # booleans are client mistakes, not literals spelled 'None'/'True'.
+        return Literal(value)
+    raise RequestError(f"cannot use {value!r} as a triple term")
+
+
+def _coerce_triples(entries: object, what: str) -> Tuple[Triple, ...]:
+    """Normalise a wire/keyword triple collection into ``Triple`` objects."""
+    if isinstance(entries, (str, bytes)) or not isinstance(entries, (list, tuple)):
+        raise RequestError(
+            f"'{what}' must be a list of (subject, predicate, object) triples, "
+            f"got {entries!r}"
+        )
+    triples = []
+    for entry in entries:
+        # Triple instances are re-coerced rather than passed through: a
+        # NamedTuple does not validate its fields, and an ill-typed term
+        # (a literal predicate, a raw string) must be rejected *here* so
+        # that applying a validated request can never fail half-way
+        # through and leave a graph partially mutated.
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise RequestError(
+                f"every '{what}' entry must be a 3-element (s, p, o) sequence, "
+                f"got {entry!r}"
+            )
+        s, p, o = entry
+        triples.append(
+            Triple(
+                parse_wire_term(s, allow_literal=False),
+                parse_wire_term(p, allow_literal=False),
+                parse_wire_term(o),
+            )
+        )
+    return tuple(triples)
+
+
+@dataclass(frozen=True)
+class MutationRequest:
+    """Mutate a dataset's RDF graph in place: removals first, then inserts.
+
+    Triples may be :class:`~repro.rdf.terms.Triple` instances or
+    ``(s, p, o)`` 3-sequences; string terms follow the wire convention of
+    :func:`parse_wire_term` (``"..."`` literal, otherwise URI).  Removals
+    are applied before insertions, so a triple named in both ends up
+    present (a re-insert).  No-op entries (inserting a present triple,
+    deleting an absent one) are allowed and simply do not contribute to
+    the resulting delta.
+    """
+
+    add: Tuple[Triple, ...] = ()
+    remove: Tuple[Triple, ...] = ()
+
+    def validated(self) -> "MutationRequest":
+        return replace(
+            self,
+            add=_coerce_triples(self.add, "add"),
+            remove=_coerce_triples(self.remove, "remove"),
+        )
 
 
 @dataclass(frozen=True)

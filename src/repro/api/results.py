@@ -21,6 +21,7 @@ from repro.core.search import SearchResult
 __all__ = [
     "DatasetInfo",
     "EvaluationResult",
+    "MutationResult",
     "SortSummary",
     "RefinementResult",
     "SweepResult",
@@ -75,6 +76,41 @@ class EvaluationResult(_JsonResult):
         if self.exact is not None:
             payload["exact"] = self.exact
         return payload
+
+
+@dataclass(frozen=True)
+class MutationResult(_JsonResult):
+    """The outcome of a :meth:`~repro.api.Dataset.mutate` call.
+
+    Every field is a function of the mutation sequence applied to the
+    dataset — not of which cached artifacts happened to be built — so the
+    payload is deterministic across inline and pooled execution.  Which
+    stages were incrementally patched is visible in ``Dataset.stats``
+    (``matrix_patches`` / ``table_patches``).
+    """
+
+    dataset: str
+    #: The dataset's generation after this mutation (0 = never mutated).
+    generation: int
+    #: Triples actually added / removed (no-op entries excluded).
+    added: int
+    removed: int
+    #: Number of subjects whose entity changed.
+    touched_subjects: int
+    #: Graph size after the mutation.
+    n_triples: int
+    n_subjects: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "generation": self.generation,
+            "added": self.added,
+            "removed": self.removed,
+            "touched_subjects": self.touched_subjects,
+            "n_triples": self.n_triples,
+            "n_subjects": self.n_subjects,
+        }
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,7 @@ from repro.api.requests import (
 from repro.api.results import (
     DatasetInfo,
     EvaluationResult,
+    MutationResult,
     RefinementResult,
     SortSummary,
     SweepResult,
@@ -138,6 +139,7 @@ class StructurednessSession:
             "requests": 0,
             "solver_calls": 0,
             "result_cache_hits": 0,
+            "cache_invalidations": 0,
         }
         inner = resolve_solver(
             solver, time_limit=solver_time_limit, **(solver_options or {})
@@ -155,14 +157,28 @@ class StructurednessSession:
         self._encoders: Dict[str, SortRefinementEncoder] = {}
         self._functions: Dict[str, StructurednessFunction] = {}
         self._results: "OrderedDict[tuple, object]" = OrderedDict()
+        # The dataset generation the cached results belong to: every query
+        # compares it against the live counter, so a mutation (through this
+        # session, a sibling session, or the Dataset handle directly)
+        # invalidates exactly the stale entries — never a fresh cache.
+        self._seen_generation = getattr(dataset, "generation", 0)
         # Serialises queries: shared encoder/sweep state is not safe under
         # concurrent mutation, and holding the lock for the whole query is
         # what guarantees a thread never repeats another thread's solver
         # work for an identical request (it finds the cached result instead).
         self._lock = threading.RLock()
 
+    def _sync_generation(self) -> None:
+        """Drop cached results when the dataset mutated since they were stored."""
+        generation = getattr(self.dataset, "generation", 0)
+        if generation != self._seen_generation:
+            self._seen_generation = generation
+            self._results.clear()
+            self.stats["cache_invalidations"] += 1
+
     def _cached_result(self, key: tuple):
         """Fetch a cached result (marking it most recently used) or ``None``."""
+        self._sync_generation()
         result = self._results.get(key)
         if result is not None:
             self._results.move_to_end(key)
@@ -192,6 +208,7 @@ class StructurednessSession:
         with self._lock:
             return {
                 "dataset": self.dataset.name,
+                "dataset_generation": getattr(self.dataset, "generation", 0),
                 "solver": self.solver.name,
                 "solver_spec": self.solver_spec,
                 "stats": dict(self.stats),
@@ -249,6 +266,21 @@ class StructurednessSession:
     def info(self) -> DatasetInfo:
         return self.dataset.info
 
+    def _info_from(self, table) -> DatasetInfo:
+        """DatasetInfo derived from one table snapshot.
+
+        Queries read ``dataset.table`` exactly once and thread the
+        snapshot through search *and* result assembly, so a concurrent
+        mutation can never produce a result that mixes two dataset
+        generations (searched on one table, described by another).
+        """
+        return DatasetInfo(
+            name=self.dataset.name or table.name,
+            n_subjects=table.n_subjects,
+            n_properties=table.n_properties,
+            n_signatures=table.n_signatures,
+        )
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
@@ -262,10 +294,11 @@ class StructurednessSession:
             cached = self._cached_result(key)
             if cached is not None:
                 return cached
+            table = self.dataset.table
             function = self.function_for(req.rule)
-            exact_value = function.evaluate_fraction(self.dataset.table)
+            exact_value = function.evaluate_fraction(table)
             result = EvaluationResult(
-                dataset=self.info,
+                dataset=self._info_from(table),
                 rule=function.name,
                 value=float(exact_value),
                 exact=f"{exact_value.numerator}/{exact_value.denominator}" if req.exact else None,
@@ -278,13 +311,35 @@ class StructurednessSession:
         p1, p2 = coerce_uri(prop1), coerce_uri(prop2)
         with self._lock:
             self.stats["requests"] += 1
+            table = self.dataset.table
             compute = symmetric_dependency_value if symmetric else dependency_value
             label = "SymDep" if symmetric else "Dep"
             return EvaluationResult(
-                dataset=self.info,
+                dataset=self._info_from(table),
                 rule=f"{label}[{p1.local_name}, {p2.local_name}]",
-                value=float(compute(self.dataset.table, p1, p2)),
+                value=float(compute(table, p1, p2)),
             )
+
+    def mutate(self, request: object = None, /, **kwargs) -> MutationResult:
+        """Apply a triple delta to the dataset (see :meth:`Dataset.mutate`).
+
+        The mutation invalidates this session's result cache immediately;
+        sibling sessions over the same dataset notice the generation bump
+        on their next query.  Mutation results are never cached.
+        """
+        unknown = set(kwargs) - {"add", "remove"}
+        if unknown:
+            raise RequestError(
+                f"mutate accepts 'add' and 'remove' collections of triples, "
+                f"got unknown keywords {sorted(unknown)}"
+            )
+        with self._lock:
+            self.stats["requests"] += 1
+            # Dataset.mutate owns the request-or-keywords coercion; value
+            # errors surface as RequestErrors naming the bad field.
+            result = self.dataset.mutate(request, **kwargs)
+            self._sync_generation()
+            return result
 
     def refine(self, request: object = None, /, **kwargs) -> RefinementResult:
         """Highest-θ sort refinement for a fixed ``k`` (see :class:`RefineRequest`)."""
@@ -296,8 +351,9 @@ class StructurednessSession:
             cached = self._cached_result(key)
             if cached is not None:
                 return replace(cached, cached=True)
+            table = self.dataset.table
             search = highest_theta_refinement(
-                self.dataset.table,
+                table,
                 rule,
                 k=req.k,
                 step=req.step,
@@ -308,7 +364,7 @@ class StructurednessSession:
                 witness_skip=req.witness_skip,
                 encoder=self.encoder_for(req.rule),
             )
-            result = self._refinement_result(req.rule, rule, "highest_theta", search)
+            result = self._refinement_result(req.rule, rule, "highest_theta", search, table)
             self._store_result(key, result)
             return result
 
@@ -322,8 +378,9 @@ class StructurednessSession:
             cached = self._cached_result(key)
             if cached is not None:
                 return replace(cached, cached=True)
+            table = self.dataset.table
             search = lowest_k_refinement(
-                self.dataset.table,
+                table,
                 rule,
                 theta=req.theta,
                 direction=req.direction,
@@ -334,7 +391,7 @@ class StructurednessSession:
                 witness_skip=req.witness_skip,
                 encoder=self.encoder_for(req.rule),
             )
-            result = self._refinement_result(req.rule, rule, "lowest_k", search)
+            result = self._refinement_result(req.rule, rule, "lowest_k", search, table)
             self._store_result(key, result)
             return result
 
@@ -355,10 +412,14 @@ class StructurednessSession:
                     cached,
                     entries=tuple(replace(entry, cached=True) for entry in cached.entries),
                 )
+            # One table snapshot for the whole sweep: every k entry (and
+            # the result's DatasetInfo) describes the same generation even
+            # if a sibling session mutates the dataset mid-sweep.
+            table = self.dataset.table
             entries = []
             for k in req.k_values:
                 search = highest_theta_refinement(
-                    self.dataset.table,
+                    table,
                     rule,
                     k=k,
                     step=req.step,
@@ -368,9 +429,11 @@ class StructurednessSession:
                     witness_skip=req.witness_skip,
                     encoder=self.encoder_for(req.rule),
                 )
-                entries.append(self._refinement_result(req.rule, rule, "highest_theta", search))
+                entries.append(
+                    self._refinement_result(req.rule, rule, "highest_theta", search, table)
+                )
             result = SweepResult(
-                dataset=self.info, rule=entries[0].rule, entries=tuple(entries)
+                dataset=self._info_from(table), rule=entries[0].rule, entries=tuple(entries)
             )
             self._store_result(key, result)
             return result
@@ -379,7 +442,7 @@ class StructurednessSession:
     # Result assembly
     # ------------------------------------------------------------------ #
     def _refinement_result(
-        self, spec: RuleSpec, rule: Rule, kind: str, search: SearchResult
+        self, spec: RuleSpec, rule: Rule, kind: str, search: SearchResult, table
     ) -> RefinementResult:
         function = self.function_for(spec)
         sorts: Tuple[SortSummary, ...] = tuple(
@@ -393,7 +456,7 @@ class StructurednessSession:
             for sort in search.refinement.sorts
         )
         return RefinementResult(
-            dataset=self.info,
+            dataset=self._info_from(table),
             rule=function.name,
             kind=kind,
             theta=search.theta,

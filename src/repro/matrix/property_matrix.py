@@ -12,16 +12,44 @@ signature representation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.exceptions import RDFError
-from repro.rdf.graph import RDFGraph
+from repro.rdf.graph import GraphDelta, RDFGraph
 from repro.rdf.namespaces import RDF
 from repro.rdf.terms import URI, coerce_uri
 
 __all__ = ["PropertyMatrix"]
+
+
+def _sorted_merge(
+    base: Sequence[URI], additions: Sequence[URI], removals: Set[URI]
+) -> Sequence[URI]:
+    """Merge sorted ``base`` with sorted ``additions`` minus ``removals``.
+
+    A two-pointer merge: O(len(base) + len(additions)) instead of
+    re-sorting the whole universe; mutations touch few labels, the
+    universe holds many.
+    """
+    if not additions and not removals:
+        return base
+    kept: List[URI] = [x for x in base if x not in removals] if removals else list(base)
+    if not additions:
+        return kept
+    merged: List[URI] = []
+    i = j = 0
+    while i < len(kept) and j < len(additions):
+        if kept[i] <= additions[j]:
+            merged.append(kept[i])
+            i += 1
+        else:
+            merged.append(additions[j])
+            j += 1
+    merged.extend(kept[i:])
+    merged.extend(additions[j:])
+    return merged
 
 
 class PropertyMatrix:
@@ -124,6 +152,97 @@ class PropertyMatrix:
                 keep = cols >= 0
                 data[rows[keep], cols[keep]] = True
         return cls(data, subjects, props, name=name if name is not None else graph.name)
+
+    def apply_delta(
+        self,
+        graph: RDFGraph,
+        delta: GraphDelta,
+        exclude_type: bool = True,
+        name: Optional[str] = None,
+    ) -> "PropertyMatrix":
+        """Re-derive only the touched subjects' rows after a graph mutation.
+
+        ``self`` must be the :meth:`from_graph` matrix (default sorted
+        row/column order, full property universe, same ``exclude_type``)
+        of the graph state *before* the delta, and ``graph`` the mutated
+        graph.  The result is equal to ``PropertyMatrix.from_graph(graph,
+        exclude_type=exclude_type)`` — bit-identical rows, labels and
+        order — but only the delta's subjects are recomputed: untouched
+        rows are block-copied and the subject/property universes are
+        updated by sorted merge instead of a full re-sort.
+        """
+        touched_subjects = sorted(delta.subjects)
+        touched_properties = sorted(delta.properties)
+        if exclude_type:
+            touched_properties = [p for p in touched_properties if p != RDF.type]
+
+        # Universe updates: a touched label enters when the graph now uses
+        # it, leaves when its last triple disappeared.
+        removed_subjects = {
+            s for s in touched_subjects
+            if s in self._subject_index and not graph.has_subject(s)
+        }
+        added_subjects = [
+            s for s in touched_subjects
+            if s not in self._subject_index and graph.has_subject(s)
+        ]
+        removed_properties = {
+            p for p in touched_properties
+            if p in self._property_index and not graph.has_predicate(p)
+        }
+        added_properties = [
+            p for p in touched_properties
+            if p not in self._property_index and graph.has_predicate(p)
+        ]
+        subjects = _sorted_merge(self._subjects, added_subjects, removed_subjects)
+        properties = _sorted_merge(self._properties, added_properties, removed_properties)
+
+        recompute = [s for s in touched_subjects if graph.has_subject(s)]
+        recompute_set = set(recompute)
+        row_pos = {s: i for i, s in enumerate(subjects)}
+        col_pos = {p: j for j, p in enumerate(properties)}
+        data = np.zeros((len(subjects), len(properties)), dtype=bool)
+
+        # Block-copy every surviving untouched row.  Untouched rows are
+        # all-zero in added columns (a brand-new property is only had by
+        # touched subjects) and had only zeros in dropped columns (a
+        # property with a surviving 1-cell still exists in the graph).
+        keep = [s for s in self._subjects if s not in removed_subjects and s not in recompute_set]
+        if keep and self._data.size:
+            old_rows = np.fromiter(
+                (self._subject_index[s] for s in keep), dtype=np.int64, count=len(keep)
+            )
+            new_rows = np.fromiter((row_pos[s] for s in keep), dtype=np.int64, count=len(keep))
+            if removed_properties or added_properties:
+                surviving = [p for p in self._properties if p not in removed_properties]
+                old_cols = np.fromiter(
+                    (self._property_index[p] for p in surviving),
+                    dtype=np.int64,
+                    count=len(surviving),
+                )
+                new_cols = np.fromiter(
+                    (col_pos[p] for p in surviving), dtype=np.int64, count=len(surviving)
+                )
+                data[new_rows[:, None], new_cols[None, :]] = self._data[
+                    old_rows[:, None], old_cols[None, :]
+                ]
+            else:
+                data[new_rows, :] = self._data[old_rows, :]
+
+        try:
+            for s in recompute:
+                row = data[row_pos[s]]
+                for p in graph.properties_of(s, exclude_type=exclude_type):
+                    row[col_pos[p]] = True
+        except KeyError as error:
+            raise RDFError(
+                f"delta does not match this matrix: property {error} of touched "
+                f"subject {s!r} is not a column (was the matrix built from the "
+                "pre-delta state of this graph?)"
+            ) from None
+        return PropertyMatrix(
+            data, subjects, properties, name=self.name if name is None else name
+        )
 
     @classmethod
     def from_rows(

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.exceptions import RDFError
 from repro.matrix.property_matrix import PropertyMatrix
-from repro.rdf.graph import RDFGraph
+from repro.rdf.graph import GraphDelta, RDFGraph
 from repro.rdf.terms import URI, coerce_uri
 
 __all__ = ["Signature", "SignatureTable", "signature_key", "group_boolean_rows"]
@@ -106,6 +106,7 @@ class SignatureTable:
         "_signatures",
         "_counts",
         "_members",
+        "_member_index",
         "_count_vec",
         "_support_bits",
         "_support_bool",
@@ -179,6 +180,10 @@ class SignatureTable:
                         f"{len(collected[sig])} members"
                     )
             self._members = collected
+        # Lazily built subject -> signature reverse index (requires
+        # members); apply_delta carries an updated copy forward so chained
+        # mutations never pay the O(n_subjects) rebuild.
+        self._member_index: Optional[Dict[URI, Signature]] = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -299,15 +304,24 @@ class SignatureTable:
             raise RDFError("this signature table does not track member subjects")
         return self._members.get(frozenset(coerce_uri(p) for p in signature), ())
 
-    def signature_of(self, subject: object) -> Signature:
-        """Return the signature of a tracked subject (requires members)."""
+    def _member_index_map(self) -> Dict[URI, Signature]:
+        """The subject -> signature reverse index (built once, lazily)."""
         if self._members is None:
             raise RDFError("this signature table does not track member subjects")
-        target = coerce_uri(subject)
-        for signature, subjects in self._members.items():
-            if target in subjects:
-                return signature
-        raise RDFError(f"subject {subject!r} is not tracked by this signature table")
+        if self._member_index is None:
+            self._member_index = {
+                subject: signature
+                for signature, subjects in self._members.items()
+                for subject in subjects
+            }
+        return self._member_index
+
+    def signature_of(self, subject: object) -> Signature:
+        """Return the signature of a tracked subject (requires members)."""
+        signature = self._member_index_map().get(coerce_uri(subject))
+        if signature is None:
+            raise RDFError(f"subject {subject!r} is not tracked by this signature table")
+        return signature
 
     # ------------------------------------------------------------------ #
     # Aggregates used by the closed-form structuredness functions
@@ -386,6 +400,78 @@ class SignatureTable:
         bit ``j`` of a row (MSB-first within each byte) is property ``j``.
         """
         return self._support_bits.copy()
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(
+        self, matrix: PropertyMatrix, delta: GraphDelta, name: Optional[str] = None
+    ) -> "SignatureTable":
+        """Re-group only the touched subjects after a graph mutation.
+
+        ``matrix`` must be the *already mutated* property matrix (the
+        result of :meth:`PropertyMatrix.apply_delta`, or an equal rebuild)
+        and ``self`` the signature table of the pre-delta matrix with
+        member tracking.  The result equals
+        ``SignatureTable.from_matrix(matrix)`` exactly — same signatures,
+        counts, member sets and member order — but only the delta's
+        subjects move between signature sets.  (The constructor still
+        re-normalises every member tuple and support row, so a patch is
+        O(subjects) with small constants — what it saves over
+        ``from_matrix`` is the packbits/unique grouping pass and the
+        per-subject membership assembly, the dominant rebuild costs.)
+
+        Requires row-sorted provenance (``from_matrix`` of a
+        ``from_graph`` matrix), whose member tuples are sorted by subject;
+        sorted order is preserved so chained deltas stay bit-identical to
+        rebuilds.
+        """
+        if self._members is None:
+            raise RDFError(
+                "apply_delta requires a signature table that tracks member "
+                "subjects (build it with from_matrix/from_graph)"
+            )
+        index = dict(self._member_index_map())
+        counts: Dict[Signature, int] = dict(self._counts)
+        members: Dict[Signature, Tuple[URI, ...]] = dict(self._members)
+        removals: Dict[Signature, set] = {}
+        additions: Dict[Signature, List[URI]] = {}
+        for subject in sorted(delta.subjects):
+            old_sig = index.get(subject)
+            new_sig = (
+                frozenset(matrix.properties_of(subject))
+                if matrix.has_subject(subject)
+                else None
+            )
+            if old_sig == new_sig:
+                continue
+            if old_sig is not None:
+                removals.setdefault(old_sig, set()).add(subject)
+            if new_sig is None:
+                del index[subject]
+            else:
+                additions.setdefault(new_sig, []).append(subject)
+                index[subject] = new_sig
+        for signature, gone in removals.items():
+            remaining = tuple(s for s in members[signature] if s not in gone)
+            if remaining:
+                members[signature] = remaining
+                counts[signature] = len(remaining)
+            else:
+                del members[signature]
+                del counts[signature]
+        for signature, fresh in additions.items():
+            combined = tuple(sorted(members.get(signature, ()) + tuple(fresh)))
+            members[signature] = combined
+            counts[signature] = len(combined)
+        table = SignatureTable(
+            matrix.properties,
+            counts,
+            members=members,
+            name=self.name if name is None else name,
+        )
+        table._member_index = index
+        return table
 
     # ------------------------------------------------------------------ #
     # Derived tables

@@ -1,6 +1,6 @@
 """RDF substrate: terms, graphs, N-Triples I/O and sort extraction."""
 
-from repro.rdf.graph import RDFGraph
+from repro.rdf.graph import GraphDelta, RDFGraph
 from repro.rdf.namespaces import (
     DBPEDIA,
     EX,
@@ -25,6 +25,7 @@ from repro.rdf.terms import Literal, Term, Triple, URI
 
 __all__ = [
     "RDFGraph",
+    "GraphDelta",
     "Namespace",
     "RDF",
     "RDFS",

@@ -23,8 +23,9 @@ the vectorised signature pipeline consumes directly — see DESIGN.md,
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import chain
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -33,7 +34,52 @@ from repro.rdf.interning import NO_ID, TermDictionary
 from repro.rdf.namespaces import RDF
 from repro.rdf.terms import Literal, Term, Triple, URI, coerce_object, coerce_uri
 
-__all__ = ["RDFGraph"]
+__all__ = ["RDFGraph", "GraphDelta"]
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """The term-level footprint of an in-place graph mutation.
+
+    :meth:`RDFGraph.add_triples` / :meth:`RDFGraph.remove_triples` return
+    one of these so downstream views (``PropertyMatrix.apply_delta``,
+    ``SignatureTable.apply_delta``) can re-derive exactly the touched
+    subjects instead of rebuilding from scratch.  Only triples that
+    *actually changed* the graph contribute: no-op inserts of present
+    triples and no-op deletes of absent triples leave the delta empty.
+
+    ``subjects`` and ``properties`` are conservative *touch* sets — a
+    mentioned subject may end up with the same property row it had before
+    (e.g. when only the object multiplicity of a pair changed); consumers
+    must consult the mutated graph for current truth.
+    """
+
+    #: Number of triples the mutation actually added.
+    added: int
+    #: Number of triples the mutation actually removed.
+    removed: int
+    #: Subjects whose entity (set of outgoing triples) changed.
+    subjects: FrozenSet[URI]
+    #: Properties occurring in a changed triple (universe may have changed).
+    properties: FrozenSet[URI]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the mutation changed the graph at all."""
+        return self.added == 0 and self.removed == 0
+
+    def merge(self, other: "GraphDelta") -> "GraphDelta":
+        """Combine two deltas applied in sequence to the same graph."""
+        return GraphDelta(
+            added=self.added + other.added,
+            removed=self.removed + other.removed,
+            subjects=self.subjects | other.subjects,
+            properties=self.properties | other.properties,
+        )
+
+    @classmethod
+    def empty(cls) -> "GraphDelta":
+        return cls(added=0, removed=0, subjects=frozenset(), properties=frozenset())
 
 
 class RDFGraph:
@@ -179,6 +225,78 @@ class RDFGraph:
             del self._osp[o_id]
         self._size -= 1
         return True
+
+    @staticmethod
+    def _coerce_batch(triples: Iterable) -> List[Tuple[URI, URI, Term]]:
+        """Coerce a whole batch of triple entries up front.
+
+        Batch mutations are atomic: every entry is validated and coerced
+        *before* any index is touched, so an ill-typed entry raises with
+        the graph (and any delta-maintained downstream view) unchanged.
+        """
+        coerced: List[Tuple[URI, URI, Term]] = []
+        for entry in triples:
+            if not (isinstance(entry, (Triple, tuple, list)) and len(entry) == 3):
+                raise RDFError(
+                    f"expected a Triple or an (s, p, o) 3-sequence, got {entry!r}"
+                )
+            coerced.append(
+                (coerce_uri(entry[0]), coerce_uri(entry[1]), coerce_object(entry[2]))
+            )
+        return coerced
+
+    def add_triples(self, triples: Iterable) -> GraphDelta:
+        """Add a batch of triples in place; return the :class:`GraphDelta`.
+
+        Entries may be :class:`Triple` instances or ``(s, p, o)``
+        3-sequences of terms/strings (strings are coerced to URIs, like
+        :meth:`add`).  The whole batch is coerced before anything is
+        applied, so an invalid entry leaves the graph untouched.  The
+        delta records only the triples that were not already present.
+        """
+        entries = self._coerce_batch(triples)
+        intern = self._dict.intern
+        touched_s: Set[URI] = set()
+        touched_p: Set[URI] = set()
+        added = 0
+        for s, p, o in entries:
+            if self._add_ids(intern(s), intern(p), intern(o)):
+                added += 1
+                touched_s.add(s)
+                touched_p.add(p)
+        return GraphDelta(
+            added=added,
+            removed=0,
+            subjects=frozenset(touched_s),
+            properties=frozenset(touched_p),
+        )
+
+    def remove_triples(self, triples: Iterable) -> GraphDelta:
+        """Remove a batch of triples in place; return the :class:`GraphDelta`.
+
+        The whole batch is coerced before anything is applied (like
+        :meth:`add_triples`).  Absent triples (and triples over unknown
+        terms) are silently skipped; they do not appear in the delta.
+        Interned terms are kept in the dictionary even when their last
+        triple disappears — IDs are never recycled, so a later re-insert
+        of the same term reuses its original ID (see
+        :class:`~repro.rdf.interning.TermDictionary`).
+        """
+        entries = self._coerce_batch(triples)
+        touched_s: Set[URI] = set()
+        touched_p: Set[URI] = set()
+        removed = 0
+        for s, p, o in entries:
+            if self.remove(s, p, o):
+                removed += 1
+                touched_s.add(s)
+                touched_p.add(p)
+        return GraphDelta(
+            added=0,
+            removed=removed,
+            subjects=frozenset(touched_s),
+            properties=frozenset(touched_p),
+        )
 
     def remove_entity(self, subject: object) -> int:
         """Remove every triple whose subject is ``subject``; return the count."""
@@ -352,6 +470,21 @@ class RDFGraph:
         """Return ``S(D)``: the set of subjects mentioned in the graph."""
         term = self._dict.term_of
         return {term(s_id) for s_id in self._spo}
+
+    @property
+    def n_subjects(self) -> int:
+        """``|S(D)|`` without materialising the subject set."""
+        return len(self._spo)
+
+    def has_subject(self, subject: object) -> bool:
+        """Return ``True`` iff ``subject`` currently has at least one triple."""
+        s_id = self._dict.id_of(coerce_uri(subject))
+        return s_id != NO_ID and s_id in self._spo
+
+    def has_predicate(self, predicate: object) -> bool:
+        """Return ``True`` iff some triple currently uses ``predicate``."""
+        p_id = self._dict.id_of(coerce_uri(predicate))
+        return p_id != NO_ID and p_id in self._pos
 
     def properties(self, exclude_type: bool = False) -> Set[URI]:
         """Return ``P(D)``: the set of properties mentioned in the graph.

@@ -87,8 +87,27 @@ class TermDictionary:
         raise RDFError(f"unknown term ID {term_id!r}")
 
     def decode_many(self, ids: Iterable[int]) -> List[Term]:
-        """Translate an iterable/array of IDs back to terms."""
+        """Translate an iterable/array of IDs back to terms.
+
+        Raises :class:`RDFError` for any ID outside ``[0, len)`` —
+        including negative IDs such as :data:`NO_ID`, which Python list
+        indexing would otherwise silently resolve from the *end* of the
+        term list (the dangling-ID bug class: ``id_of`` on an unknown term
+        returns ``-1``, and decoding it must fail loudly, not hand back
+        the most recently interned term).
+        """
         terms = self._terms
+        if isinstance(ids, np.ndarray):
+            # Vectorised guard for the common array input: one min() scan
+            # instead of a per-element Python check.
+            if ids.size and int(ids.min()) < 0:
+                bad = sorted(int(i) for i in set(ids[ids < 0].tolist()))
+                raise RDFError(f"unknown term IDs {bad[:5]!r}")
+        else:
+            ids = list(ids)
+            if any(int(i) < 0 for i in ids):
+                bad = [int(i) for i in ids if int(i) < 0]
+                raise RDFError(f"unknown term IDs {bad[:5]!r}")
         try:
             return [terms[i] for i in ids]
         except IndexError:

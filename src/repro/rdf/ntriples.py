@@ -28,9 +28,36 @@ __all__ = [
     "load_ntriples",
     "dumps_ntriples",
     "dump_ntriples",
+    "unescape_literal",
 ]
 
 _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
+def unescape_literal(text: str) -> str:
+    """Undo the escapes of a literal's lexical form (no surrounding quotes).
+
+    The single authority for decoding ``\\n``/``\\"``-style escapes — the
+    wire codec and any other consumer share this table with the N-Triples
+    parser, so the same spelling can never decode differently on two
+    paths.  Raises :class:`ValueError` on an unsupported escape or a
+    dangling backslash, mirroring the parser's strictness.
+    """
+    if "\\" not in text:
+        return text
+    chars: list[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\":
+            if index + 1 >= len(text) or text[index + 1] not in _ESCAPES:
+                raise ValueError(f"unsupported escape in literal {text!r}")
+            chars.append(_ESCAPES[text[index + 1]])
+            index += 2
+        else:
+            chars.append(char)
+            index += 1
+    return "".join(chars)
 
 
 def _parse_uri(text: str, position: int, line_number: int) -> tuple[URI, int]:

@@ -15,9 +15,15 @@ you can put traffic on, in three layers:
   :class:`~repro.service.registry.DatasetRegistry` so dataset chains are
   built once per worker.
 * **HTTP front-end** (:mod:`repro.service.server`) — a stdlib JSON API
-  (``POST /v1/evaluate|refine|lowest_k|sweep|batch``, ``GET
+  (``POST /v1/evaluate|refine|lowest_k|sweep|mutate|batch``, ``GET
   /v1/datasets``, ``GET /v1/stats``) exposed by ``repro serve``; batches
   run through ``repro batch`` without a server.
+
+Datasets are mutable in place: a ``mutate`` request applies a triple
+delta, incrementally patches the matrix/signature chain (bit-identical
+to a rebuild) and acts as a barrier inside a batch; the pool replays
+mutations into every worker's registry via an ordered mutation log, so
+pooled answers stay bit-identical to inline ones.
 
 >>> from repro.service import InlineExecutor, parse_request
 >>> executor = InlineExecutor()
@@ -41,6 +47,7 @@ from repro.service.pool import PooledExecutor
 from repro.service.registry import DatasetRegistry, DatasetSpec
 from repro.service.server import StructurednessService, make_server, serve
 from repro.service.wire import (
+    MUTATING_OPS,
     OPS,
     ServiceRequest,
     dump_jsonl,
@@ -65,6 +72,7 @@ __all__ = [
     "make_server",
     "serve",
     "OPS",
+    "MUTATING_OPS",
     "ServiceRequest",
     "parse_request",
     "serialize_request",

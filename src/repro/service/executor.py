@@ -25,6 +25,7 @@ from repro.api.session import StructurednessSession
 from repro.exceptions import ReproError
 from repro.service.registry import DatasetRegistry
 from repro.service.wire import (
+    MUTATING_OPS,
     ServiceRequest,
     dump_jsonl,
     error_result,
@@ -77,6 +78,15 @@ class BatchExecutor:
         ``requests`` may mix :class:`ServiceRequest` objects, wire dicts
         and JSON strings.  A request that fails to parse yields an error
         envelope in its slot instead of poisoning the batch.
+
+        A mutation is a barrier *for its own dataset*: a request before it
+        (in batch order) observes the old state, a request after it the
+        new one — regardless of how requests group into sessions.
+        Requests on other datasets are unaffected by the mutation, so
+        they coalesce into the earliest wave their own dataset's
+        mutations allow, keeping each wave's grouped (and, in the pool,
+        concurrent) execution as wide as possible.  Mutations themselves
+        run between waves, sequentially in batch order.
         """
         parsed: List[Optional[ServiceRequest]] = []
         envelopes: List[Optional[Dict[str, object]]] = []
@@ -87,15 +97,36 @@ class BatchExecutor:
             except ReproError as error:
                 parsed.append(None)
                 envelopes.append(error_result(error))
-        runnable = [(i, r) for i, r in enumerate(parsed) if r is not None]
-        groups = plan_batch([r for _, r in runnable])
-        # plan_batch indexes into the runnable subsequence; map back.
-        for group in groups:
-            group.indices = [runnable[i][0] for i in group.indices]
-        for group, results in zip(groups, self._execute_groups(groups)):
-            for index, envelope in zip(group.indices, results):
-                envelopes[index] = envelope
-        # Every slot is now either a parse-error envelope or a group result.
+        # Wave assignment: request r runs in the wave right after the
+        # last preceding mutation of r's dataset (wave 0 if none).  This
+        # is exactly as early as correctness allows — any global mutation
+        # between that wave and r's batch position targets a different
+        # dataset and cannot change r's answer.
+        mutations: List[Tuple[int, ServiceRequest]] = []
+        last_wave: Dict[str, int] = {}
+        waves: List[List[Tuple[int, ServiceRequest]]] = [[]]
+        for index, request in enumerate(parsed):
+            if request is None:
+                continue
+            if request.op in MUTATING_OPS:
+                mutations.append((index, request))
+                last_wave[request.dataset.key] = len(mutations)
+                waves.append([])
+            else:
+                waves[last_wave.get(request.dataset.key, 0)].append((index, request))
+        for slot, wave in enumerate(waves):
+            if wave:
+                groups = plan_batch([r for _, r in wave])
+                # plan_batch indexes into the wave subsequence; map back.
+                for group in groups:
+                    group.indices = [wave[i][0] for i in group.indices]
+                for group, results in zip(groups, self._execute_groups(groups)):
+                    for index, envelope in zip(group.indices, results):
+                        envelopes[index] = envelope
+            if slot < len(mutations):
+                index, request = mutations[slot]
+                envelopes[index] = self._execute_mutation(request)
+        # Every slot is now either a parse-error envelope or a wave result.
         return envelopes  # type: ignore[return-value]
 
     def execute_jsonl(self, text: str) -> str:
@@ -104,6 +135,16 @@ class BatchExecutor:
 
     def _execute_groups(self, groups: List[BatchGroup]) -> List[List[Dict[str, object]]]:
         raise NotImplementedError
+
+    def _execute_mutation(self, request: ServiceRequest) -> Dict[str, object]:
+        """Run one mutating request as its own single-request phase.
+
+        The default runs it like any other (one-element) group; executors
+        with distributed state override this to propagate the mutation to
+        every copy of the dataset (see ``PooledExecutor``).
+        """
+        group = BatchGroup(key=request.group_key, indices=[0], requests=[request])
+        return self._execute_groups([group])[0][0]
 
     def stats(self) -> Dict[str, object]:  # pragma: no cover - interface
         raise NotImplementedError

@@ -12,34 +12,96 @@ Determinism: a group always runs in submission order inside one worker's
 session, exactly as :class:`InlineExecutor` runs it in-process, so pooled
 payloads are bit-identical to inline payloads — only wall-clock changes.
 Use ``InlineExecutor`` directly where that equivalence is under test.
+
+Mutations: the executor keeps an ordered *mutation log* (one entry per
+successful ``mutate`` request).  Workers are anonymous — a job cannot be
+addressed to a specific process — so instead of broadcasting eagerly,
+every job ships the current log and each worker replays the entries it
+has not applied yet before running the job's requests.  Dataset state in
+a worker is therefore always the fold of the same mutation sequence the
+inline executor applied, whichever worker a group lands on, and
+mutation results (generation counters, graph sizes) stay bit-identical.
+
+Deliberate trade-off: the full log ships with every job (workers are
+anonymous, so the executor cannot know which entries a given worker
+still needs), making per-job overhead linear in the number of mutations
+applied over the pool's lifetime.  Mutations are the rare operation in
+this workload and a log entry is a small wire dict; a mutation-heavy
+deployment should recycle the executor periodically or shard datasets
+across executors.
+
+Known corner of the bit-identity invariant: the ``cached`` flag (only)
+of a refinement repeated *within one batch* across a **no-op** mutation
+of its own dataset is worker-placement-dependent — the repeat lands in
+a later wave whose job may reach a worker with a cold session cache,
+while the inline executor's single warm session reports ``cached:
+true`` (a graph-changing mutation invalidates both sides identically,
+so only no-op mutations expose this).  Every other payload field stays
+bit-identical; exact parity here needs addressable workers (consistent
+group→worker routing), which ``multiprocessing.Pool`` cannot express.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.service.executor import BatchExecutor, BatchGroup, InlineExecutor
+from repro.service.wire import ServiceRequest
 
 __all__ = ["PooledExecutor"]
 
-#: The calling process never touches this; it exists in pool workers only.
+#: The calling process never touches these; they exist in pool workers only.
 _WORKER_EXECUTOR: Optional[InlineExecutor] = None
+#: Position in the executor's mutation log this worker has applied.
+_WORKER_APPLIED_SEQ: int = 0
 
 
 def _initialise_worker(solver_time_limit: Optional[float]) -> None:
     """Pool initialiser: build the worker's long-lived inline engine."""
-    global _WORKER_EXECUTOR
+    global _WORKER_EXECUTOR, _WORKER_APPLIED_SEQ
     _WORKER_EXECUTOR = InlineExecutor(solver_time_limit=solver_time_limit)
+    _WORKER_APPLIED_SEQ = 0
 
 
-def _run_group(request_dicts: List[Dict[str, object]]) -> List[Dict[str, object]]:
-    """Worker entry point: parse one group's wire dicts and run them."""
+def _run_group(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Worker entry point: catch up on the mutation log, then run one group.
+
+    ``payload`` carries the group's wire dicts plus the mutation log as
+    ``(seq, wire dict)`` pairs; entries with a sequence number beyond the
+    worker's applied position are replayed into the worker's registry
+    (their envelopes are discarded — the phase that originated a mutation
+    already produced its envelope).  ``applied_seq`` marks the group
+    itself as a mutation so the executing worker does not replay it again
+    later: replaying a remove-then-insert of the same triple twice would
+    count spurious changes and skew the generation counter.
+    """
+    global _WORKER_APPLIED_SEQ
     from repro.service.wire import parse_request
 
     assert _WORKER_EXECUTOR is not None, "pool worker was not initialised"
-    return _WORKER_EXECUTOR.run_group([parse_request(d) for d in request_dicts])
+    for seq, mutation in payload.get("mutations", ()):
+        if seq > _WORKER_APPLIED_SEQ:
+            [replayed] = _WORKER_EXECUTOR.run_group([parse_request(mutation)])
+            if not replayed.get("ok"):
+                # Only environmental failures can land here (the original
+                # mutation succeeded elsewhere, and validated mutations are
+                # total): fail the job loudly rather than skip the entry —
+                # a worker that silently misses a mutation would serve
+                # diverging answers forever.
+                raise RuntimeError(
+                    f"pool worker failed to replay mutation #{seq}: "
+                    f"{replayed.get('error')}"
+                )
+            _WORKER_APPLIED_SEQ = seq
+    results = _WORKER_EXECUTOR.run_group(
+        [parse_request(d) for d in payload["requests"]]
+    )
+    applied = payload.get("applied_seq")
+    if applied is not None:
+        _WORKER_APPLIED_SEQ = max(_WORKER_APPLIED_SEQ, applied)
+    return results
 
 
 class PooledExecutor(BatchExecutor):
@@ -75,10 +137,24 @@ class PooledExecutor(BatchExecutor):
         )
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._jobs = 0
-        # Guards lazy pool creation and the job counter: concurrent HTTP
-        # handler threads sharing one executor must not each spawn a pool
-        # (the loser's worker processes would leak until interpreter GC).
+        # The ordered mutation history: (seq, wire dict) per successful
+        # mutate request.  Shipped with every job; workers replay unseen
+        # entries so their registries converge on the inline state.  The
+        # log outlives close(): a recycled pool's fresh workers replay it
+        # from the start before taking jobs.
+        self._mutation_log: List[Tuple[int, Dict[str, object]]] = []
+        self._mutation_seq = 0
+        # Guards lazy pool creation, the job counter and the mutation log:
+        # concurrent HTTP handler threads sharing one executor must not
+        # each spawn a pool (the loser's worker processes would leak until
+        # interpreter GC) nor interleave log appends.
         self._lock = threading.Lock()
+        # Serialises whole mutations (seq allocation → worker apply → log
+        # append).  Without it, two concurrent mutations could append to
+        # the log in completion order rather than sequence order, and a
+        # worker that replays the higher sequence first would skip the
+        # lower one forever — workers would silently diverge.
+        self._mutation_lock = threading.Lock()
 
     def _ensure_pool(self):
         with self._lock:
@@ -93,7 +169,15 @@ class PooledExecutor(BatchExecutor):
     def _execute_groups(self, groups: List[BatchGroup]) -> List[List[Dict[str, object]]]:
         if not groups:
             return []
-        payloads = [[request.to_dict() for request in group.requests] for group in groups]
+        with self._lock:
+            log = list(self._mutation_log)
+        payloads = [
+            {
+                "mutations": log,
+                "requests": [request.to_dict() for request in group.requests],
+            }
+            for group in groups
+        ]
         pool = self._ensure_pool()
         with self._lock:
             self._jobs += len(payloads)
@@ -101,12 +185,50 @@ class PooledExecutor(BatchExecutor):
         # them onto a few; a group is already a coarse unit of work.
         return pool.map(_run_group, payloads, chunksize=1)
 
+    def _execute_mutation(self, request: ServiceRequest) -> Dict[str, object]:
+        """Run a mutation on one worker and append it to the shared log.
+
+        The executing worker catches up on the prior log first, runs the
+        mutation, and marks it applied; every other worker replays it from
+        the log before its next job.  Failed mutations (e.g. a dataset
+        with no graph stage) do not enter the log — they fail identically
+        in every process, so there is nothing to converge.
+        """
+        pool = self._ensure_pool()
+        # One mutation at a time: the log must grow in sequence order.
+        # Mutations are the rare operation, and queries (pool.map jobs on
+        # other threads) are not blocked by this lock.
+        with self._mutation_lock:
+            with self._lock:
+                self._mutation_seq += 1
+                seq = self._mutation_seq
+                log = list(self._mutation_log)
+                self._jobs += 1
+            payload = {
+                "mutations": log,
+                "requests": [request.to_dict()],
+                "applied_seq": seq,
+            }
+            [envelope] = pool.apply(_run_group, (payload,))
+            result = envelope.get("result") or {}
+            # Only graph-changing mutations enter the log: a no-op (added
+            # == removed == 0) leaves every copy's generation unchanged,
+            # so there is nothing to converge and no reason to ship and
+            # replay it forever.
+            if envelope.get("ok") and (result.get("added") or result.get("removed")):
+                with self._lock:
+                    self._mutation_log.append((seq, request.to_dict()))
+        return envelope
+
     def stats(self) -> Dict[str, object]:
+        with self._lock:
+            log_length = len(self._mutation_log)
         return {
             "mode": "pool",
             "workers": self.workers,
             "start_method": self._context.get_start_method(),
             "jobs_dispatched": self._jobs,
+            "mutations_logged": log_length,
         }
 
     def close(self) -> None:

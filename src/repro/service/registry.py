@@ -152,7 +152,12 @@ class DatasetRegistry:
         return len(self._datasets)
 
     def describe(self) -> list:
-        """Serialisable inventory: every spec seen plus its build state."""
+        """Serialisable inventory: every spec seen plus its build state.
+
+        ``generation`` counts the mutations applied to this process's copy
+        of the dataset — the pool's convergence invariant is that every
+        worker reports the same generation for the same spec.
+        """
         with self._lock:
             entries = []
             for key, dataset in self._datasets.items():
@@ -160,6 +165,7 @@ class DatasetRegistry:
                     {
                         "spec": self._specs[key].to_dict(),
                         "name": dataset.name,
+                        "generation": dataset.generation,
                         "table_built": dataset.stats["table_builds"] > 0
                         or dataset._table is not None,
                     }

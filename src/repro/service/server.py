@@ -5,6 +5,16 @@ Routes (all payloads JSON):
 * ``POST /v1/evaluate`` / ``/v1/refine`` / ``/v1/lowest_k`` / ``/v1/sweep``
   — one wire request body (the ``op`` field is implied by the path); the
   request fields may be nested under ``"request"`` or spelled inline.
+* ``POST /v1/mutate`` — apply a triple delta (``{"dataset": ...,
+  "add": [[s, p, o], ...], "remove": [...]}``; literals spelled
+  ``"\\"text\\""``) to the server's copy of the dataset.  Downstream
+  matrix/signature artifacts are incrementally patched and session result
+  caches invalidated; with ``--workers > 1`` the mutation is replayed
+  into every pool worker's registry (via the executor's mutation log), so
+  follow-up queries are consistent whichever worker serves them.  In a
+  batch, a mutation acts as a barrier for its dataset: requests before
+  it see the old graph, requests after it the new one (queries on other
+  datasets are not serialised behind it).
 * ``POST /v1/batch`` — ``{"requests": [...]}`` or a JSONL body
   (``Content-Type: application/x-ndjson``); responds with
   ``{"results": [one envelope per request, in order]}``.
@@ -115,7 +125,7 @@ class StructurednessService:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-structuredness/1.2"
+    server_version = "repro-structuredness/1.3"
     protocol_version = "HTTP/1.1"
 
     @property

@@ -38,15 +38,18 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.api.requests import (
     EvaluateRequest,
     LowestKRequest,
+    MutationRequest,
     RefineRequest,
     SweepRequest,
 )
 from repro.exceptions import ReproError, RequestError
+from repro.rdf.terms import Literal, Triple
 from repro.rules.ast import Rule
 from repro.service.registry import DatasetSpec
 
 __all__ = [
     "OPS",
+    "MUTATING_OPS",
     "ServiceRequest",
     "parse_request",
     "serialize_request",
@@ -54,6 +57,7 @@ __all__ = [
     "serialize_result",
     "error_result",
     "status_for_error",
+    "strip_timing",
     "parse_jsonl",
     "dump_jsonl",
 ]
@@ -64,9 +68,16 @@ REQUEST_TYPES = {
     "refine": RefineRequest,
     "lowest_k": LowestKRequest,
     "sweep": SweepRequest,
+    "mutate": MutationRequest,
 }
 
 OPS: Tuple[str, ...] = tuple(REQUEST_TYPES)
+
+#: Ops that change dataset state.  Executors treat them as batch-order
+#: barriers: requests before a mutation see the old graph, requests after
+#: it the new one, whatever the grouping — and the worker pool replays
+#: them into every worker's registry so all copies of a dataset converge.
+MUTATING_OPS: Tuple[str, ...] = ("mutate",)
 
 #: Envelope fields that are not request-object fields (inline spelling).
 _ENVELOPE_FIELDS = {"op", "id", "dataset", "solver", "request"}
@@ -76,12 +87,37 @@ _CLIENT_ERROR_STATUS = 400
 _SERVER_ERROR_STATUS = 500
 
 
+def _encode_term(term: object) -> str:
+    """One triple term in its wire spelling (inverse of ``parse_wire_term``).
+
+    URIs travel bare unless their text would be *misparsed* on the way
+    back — a URI that itself looks bracketed (``<x>``) or quote-wrapped —
+    in which case the unambiguous N-Triples ``<...>`` form is used
+    (``parse_wire_term`` strips exactly one bracket pair).  Keeps the
+    codec exact for every term, which the pool's mutation-log replay
+    depends on.
+    """
+    if isinstance(term, Literal):
+        return term.n3()
+    text = str(term)
+    if (text.startswith("<") and text.endswith(">")) or (
+        len(text) >= 2 and text[0] == '"' and text[-1] == '"'
+    ):
+        return f"<{text}>"
+    return text
+
+
 def _encode_value(value: object) -> object:
     """Lower one request field to a JSON scalar/list."""
     if isinstance(value, Fraction):
         return f"{value.numerator}/{value.denominator}"
     if isinstance(value, Rule):
         return value.to_text()
+    if isinstance(value, Triple):
+        # Before the generic tuple branch: Triple is a NamedTuple.  URIs
+        # travel as bare strings, literals in their N-Triples spelling, so
+        # parse_wire_term reproduces the exact terms.
+        return [_encode_term(term) for term in value]
     if isinstance(value, tuple):
         return [_encode_value(item) for item in value]
     return value
@@ -194,22 +230,24 @@ def serialize_request(request: ServiceRequest) -> str:
     return json.dumps(request.to_dict(), sort_keys=True)
 
 
-def _strip_timing(payload: object) -> object:
+def strip_timing(payload: object) -> object:
     """Drop wall-clock fields from a result dict, recursively.
 
     Wire payloads are *deterministic*: the same request must serialise to
     the same bytes whether it ran inline, in a pool worker, or behind
     HTTP.  ``total_time`` is the one nondeterministic field the typed
     results carry; executors report aggregate timing through ``stats()``.
+    Public so that cross-layer determinism tests can compare a typed
+    result's ``to_dict()`` against a wire payload.
     """
     if isinstance(payload, dict):
         return {
-            key: _strip_timing(value)
+            key: strip_timing(value)
             for key, value in payload.items()
             if key != "total_time"
         }
     if isinstance(payload, list):
-        return [_strip_timing(item) for item in payload]
+        return [strip_timing(item) for item in payload]
     return payload
 
 
@@ -220,7 +258,7 @@ def serialize_result(result: object, request: Optional[ServiceRequest] = None) -
         envelope["op"] = request.op
         if request.id is not None:
             envelope["id"] = request.id
-    envelope["result"] = _strip_timing(result.to_dict())
+    envelope["result"] = strip_timing(result.to_dict())
     return envelope
 
 

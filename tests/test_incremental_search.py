@@ -14,11 +14,16 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
+from repro.api import Dataset
 from repro.core.encoder import SortRefinementEncoder
 from repro.core.search import highest_theta_refinement, lowest_k_refinement
 from repro.ilp.branch_and_bound import BranchAndBoundSolver
 from repro.ilp.model import Model
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import EX
+from repro.rdf.terms import Literal
 from repro.rules import coverage, similarity
+from repro.service.wire import strip_timing
 
 
 def models_identical(a: Model, b: Model) -> bool:
@@ -137,6 +142,94 @@ class TestSearchEquivalence:
         from repro.functions import coverage_function
 
         assert result.refinement.min_structuredness(coverage_function()) >= 0.9 - 1e-9
+
+
+def _persons_graph() -> RDFGraph:
+    """A small persons-like graph with a clear alive/dead split."""
+    graph = RDFGraph(name="metamorphic persons")
+    triples = []
+    for i in range(12):
+        s = EX[f"person{i}"]
+        triples.append((s, EX.name, Literal(f"n{i}")))
+        if i < 9:
+            triples.append((s, EX.birthDate, Literal("1900")))
+        if i < 4:
+            triples.append((s, EX.deathDate, Literal("1980")))
+        if i % 5 == 0:
+            triples.append((s, EX.description, Literal("...")))
+    graph.add_triples(triples)
+    return graph
+
+
+#: A delta that moves subjects between signature sets, adds a property to
+#: the universe and drops one entity entirely.
+_METAMORPHIC_ADD = [
+    (EX.person10, EX.deathDate, Literal("1999")),
+    (EX.person11, EX.spouse, EX.person0),
+    (EX.newcomer, EX.name, Literal("n12")),
+]
+_METAMORPHIC_REMOVE = [
+    (EX.person0, EX.deathDate, Literal("1980")),
+    (EX.person5, EX.name, Literal("n5")),
+    (EX.person5, EX.birthDate, Literal("1900")),
+    (EX.person5, EX.description, Literal("...")),
+    (EX.absent, EX.name, Literal("no-op")),
+]
+
+
+class TestMutationMetamorphic:
+    """After ``dataset.mutate``, searches must answer exactly as a fresh
+    dataset built from the final graph — the mutated chain and the
+    session's shared encoder state may not leak stale artifacts."""
+
+    def mutated_and_fresh(self):
+        dataset = Dataset.from_graph(_persons_graph(), name="metamorphic persons")
+        session = dataset.session()
+        # Warm every layer (table, encoder blocks, result cache) pre-delta.
+        session.evaluate("Cov")
+        session.lowest_k("Cov", theta="1/2")
+        session.sweep("Cov", k_values=(2, 3), step="1/4")
+        dataset.mutate(add=_METAMORPHIC_ADD, remove=_METAMORPHIC_REMOVE)
+        final = RDFGraph(list(dataset.graph), name="metamorphic persons")
+        fresh_session = Dataset.from_graph(final, name="metamorphic persons").session()
+        return session, fresh_session
+
+    def test_lowest_k_after_mutation_matches_fresh_dataset(self):
+        session, fresh = self.mutated_and_fresh()
+        mutated_result = session.lowest_k("Cov", theta="1/2")
+        fresh_result = fresh.lowest_k("Cov", theta="1/2")
+        assert mutated_result.k == fresh_result.k
+        assert mutated_result.theta == pytest.approx(fresh_result.theta)
+        assert assignment_groups(mutated_result.refinement) == assignment_groups(
+            fresh_result.refinement
+        )
+        assert strip_timing(mutated_result.to_dict()) == strip_timing(
+            fresh_result.to_dict()
+        )
+
+    def test_sweep_after_mutation_matches_fresh_dataset(self):
+        session, fresh = self.mutated_and_fresh()
+        mutated_result = session.sweep("Cov", k_values=(2, 3), step="1/4")
+        fresh_result = fresh.sweep("Cov", k_values=(2, 3), step="1/4")
+        assert mutated_result.thetas == pytest.approx(fresh_result.thetas)
+        assert strip_timing(mutated_result.to_dict()) == strip_timing(
+            fresh_result.to_dict()
+        )
+
+    def test_refine_after_mutation_matches_fresh_dataset_for_sim(self):
+        session, fresh = self.mutated_and_fresh()
+        mutated_result = session.refine("Sim", k=2, step="1/4")
+        fresh_result = fresh.refine("Sim", k=2, step="1/4")
+        assert strip_timing(mutated_result.to_dict()) == strip_timing(
+            fresh_result.to_dict()
+        )
+
+    def test_repeat_after_mutation_is_cached_again(self):
+        session, _ = self.mutated_and_fresh()
+        first = session.lowest_k("Cov", theta="1/2")
+        assert not first.cached  # the pre-mutation cache was invalidated
+        second = session.lowest_k("Cov", theta="1/2")
+        assert second.cached  # the post-mutation cache is live again
 
 
 class TestBranchAndBoundNodeOrdering:

@@ -137,6 +137,98 @@ class TestInternedGraph:
         assert table.counts() == regrouped.counts()
 
 
+class TestDeleteReinsertRoundTrip:
+    """The dangling-ID contract after ``remove_triples``.
+
+    When a term's last triple disappears, the term stays interned with
+    its original ID — IDs are never recycled — so a later re-insert maps
+    the term back onto the *same* ID and every downstream view stays
+    bit-identical to a from-scratch rebuild.  Unknown-ID decoding must
+    fail loudly: ``id_of`` returns ``-1`` for unknown terms, and a
+    negative ID silently resolving from the end of the term list is the
+    latent bug class this suite pins down.
+    """
+
+    def build(self) -> RDFGraph:
+        graph = RDFGraph(name="reinsert")
+        graph.add_triples(
+            [
+                (EX.a, EX.p, Literal("1")),
+                (EX.a, EX.q, Literal("2")),
+                (EX.b, EX.p, Literal("3")),
+            ]
+        )
+        return graph
+
+    def test_term_keeps_its_id_across_delete_and_reinsert(self):
+        graph = self.build()
+        dictionary = graph.term_dictionary
+        b_id = dictionary.id_of(EX.b)
+        size_before = len(dictionary)
+        delta = graph.remove_triples([(EX.b, EX.p, Literal("3"))])
+        assert delta.removed == 1 and EX.b in delta.subjects
+        # The subject left the graph but not the dictionary.
+        assert not graph.has_subject(EX.b)
+        assert dictionary.id_of(EX.b) == b_id
+        assert len(dictionary) == size_before
+        delta = graph.add_triples([(EX.b, EX.p, Literal("3"))])
+        assert delta.added == 1
+        assert dictionary.id_of(EX.b) == b_id  # same ID, not a fresh one
+        assert graph == self.build()
+
+    def test_delete_reinsert_round_trip_matches_rebuild(self):
+        graph = self.build()
+        matrix = PropertyMatrix.from_graph(graph)
+        table = SignatureTable.from_matrix(matrix)
+        # Drop b entirely (its last triples), drop property q from the
+        # universe, then re-insert b with a brand-new property: the delta
+        # exercises dangling IDs and fresh IDs in the same pass.
+        delta = graph.remove_triples(
+            [(EX.b, EX.p, Literal("3")), (EX.a, EX.q, Literal("2"))]
+        )
+        delta = delta.merge(
+            graph.add_triples([(EX.b, EX.p, Literal("3")), (EX.b, EX.brand_new, EX.c)])
+        )
+        patched_matrix = matrix.apply_delta(graph, delta)
+        patched_table = table.apply_delta(patched_matrix, delta)
+        assert patched_matrix == PropertyMatrix.from_graph(graph)
+        assert patched_table == SignatureTable.from_graph(graph)
+
+    def test_remove_last_triple_keeps_subject_property_ids_consistent(self):
+        graph = self.build()
+        graph.remove_triples(list(graph.triples_for_subject(EX.a)))
+        s_ids, p_ids = graph.subject_property_ids()
+        decoded = set(
+            zip(graph.term_dictionary.decode_many(s_ids), graph.term_dictionary.decode_many(p_ids))
+        )
+        assert decoded == {(EX.b, EX.p)}
+
+    def test_batch_mutations_are_atomic_on_invalid_entries(self):
+        """An ill-typed entry anywhere in a batch leaves the graph (and
+        any delta-maintained view) completely unchanged."""
+        graph = self.build()
+        size = len(graph)
+        with pytest.raises(RDFError):
+            graph.add_triples([(EX.ok, EX.p, Literal("1")), (Literal("bad"), EX.p, EX.o)])
+        assert len(graph) == size and not graph.has_subject(EX.ok)
+        with pytest.raises(RDFError):
+            graph.remove_triples([(EX.a, EX.p, Literal("1")), "not-a-triple"])
+        assert len(graph) == size
+        assert (EX.a, EX.p, Literal("1")) in graph
+
+    def test_decode_many_rejects_negative_and_out_of_range_ids(self):
+        dictionary = TermDictionary([EX.a, EX.b])
+        # Regression: NO_ID (-1) used to silently decode to the *last*
+        # interned term via Python's negative indexing.
+        with pytest.raises(RDFError):
+            dictionary.decode_many([NO_ID])
+        with pytest.raises(RDFError):
+            dictionary.decode_many([0, -2])
+        with pytest.raises(RDFError):
+            dictionary.decode_many([0, 99])
+        assert dictionary.decode_many([1, 0]) == [EX.b, EX.a]
+
+
 class TestBitsetClosedFormsGolden:
     """The vectorised closed forms must match a pure-Fraction recomputation.
 

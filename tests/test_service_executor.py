@@ -247,6 +247,179 @@ class TestPooledExecutor:
             PooledExecutor(workers=0)
 
 
+NT_MUTABLE = NT  # the tiny graph above doubles as the mutation target
+
+
+def mutation_batch(tmp_path):
+    """Queries interleaved with mutations over two datasets.
+
+    Mutations act as barriers, so the same (dataset, rule) pair recurs in
+    several phases; per the wire-payload convention the envelopes must be
+    bit-identical between inline and pooled execution anyway.
+    """
+    path = tmp_path / "mutable.nt"
+    path.write_text(NT_MUTABLE)
+    ds1 = {"path": str(path), "name": "mutable"}
+    ds2 = {"ntriples": NT_MUTABLE, "name": "inline-twin"}
+    return [
+        {"op": "evaluate", "dataset": ds1, "id": "e0", "request": {"rule": "Cov", "exact": True}},
+        {"op": "refine", "dataset": ds1, "id": "r0", "request": {"rule": "Cov", "k": 2, "step": "1/4"}},
+        {"op": "evaluate", "dataset": ds2, "id": "t0", "request": {"rule": "Cov", "exact": True}},
+        {
+            "op": "mutate",
+            "dataset": ds1,
+            "id": "m0",
+            "request": {
+                "add": [
+                    ["http://ex/d", "http://ex/p", '"7"'],
+                    ["http://ex/d", "http://ex/s", '"8"'],
+                ],
+                "remove": [["http://ex/a", "http://ex/q", '"2"']],
+            },
+        },
+        {"op": "evaluate", "dataset": ds1, "id": "e1", "request": {"rule": "Cov", "exact": True}},
+        {"op": "refine", "dataset": ds1, "id": "r1", "request": {"rule": "Cov", "k": 2, "step": "1/4"}},
+        {"op": "sweep", "dataset": ds1, "id": "s1", "request": {"rule": "Cov", "k_values": [2, 3], "step": "1/4"}},
+        {
+            "op": "mutate",
+            "dataset": ds2,
+            "id": "m1",
+            "request": {"remove": [["http://ex/c", "http://ex/r", '"6"']]},
+        },
+        {"op": "evaluate", "dataset": ds2, "id": "t1", "request": {"rule": "Cov", "exact": True}},
+        {
+            "op": "mutate",
+            "dataset": ds1,
+            "id": "m2",
+            "request": {"remove": [["http://ex/d", "http://ex/s", '"8"']]},
+        },
+        {"op": "evaluate", "dataset": ds1, "id": "e2", "request": {"rule": "Cov", "exact": True}},
+    ]
+
+
+class TestMutationDeterminism:
+    """Satellite: /v1/mutate-style batches are bit-identical on both
+    executors, and pool workers converge on the mutated state."""
+
+    def test_mutation_batch_inline_and_pooled_bit_identical(self, tmp_path):
+        batch = mutation_batch(tmp_path)
+        inline = InlineExecutor()
+        inline_envelopes = inline.execute(batch)
+        assert all(e["ok"] for e in inline_envelopes)
+        with PooledExecutor(workers=4) as pool:
+            pooled_envelopes = pool.execute(batch)
+            # A follow-up batch exercises workers that did NOT run the
+            # mutation job: the log replay must have converged them all.
+            follow_up = [
+                {"op": "evaluate", "dataset": batch[0]["dataset"], "id": f"f{i}",
+                 "request": {"rule": "Cov", "exact": True}}
+                for i in range(8)
+            ]
+            pooled_follow = pool.execute(follow_up)
+            assert pool.stats()["mutations_logged"] == 3
+        inline_follow = inline.execute(follow_up)
+        assert canonical(pooled_envelopes) == canonical(inline_envelopes)
+        assert canonical(pooled_follow) == canonical(inline_follow)
+
+        by_id = {e["id"]: e for e in inline_envelopes}
+        # The mutation took effect between the barrier phases.
+        assert by_id["e0"]["result"]["exact"] != by_id["e1"]["result"]["exact"]
+        assert by_id["t0"]["result"]["exact"] != by_id["t1"]["result"]["exact"]
+        # Generations count per-dataset mutations, in batch order.
+        assert by_id["m0"]["result"]["generation"] == 1
+        assert by_id["m1"]["result"]["generation"] == 1
+        assert by_id["m2"]["result"]["generation"] == 2
+        # And the follow-up answers equal the final in-batch answer.
+        assert pooled_follow[0]["result"]["exact"] == by_id["e2"]["result"]["exact"]
+
+    def test_noop_mutations_stay_out_of_the_broadcast_log(self):
+        ds = {"ntriples": NT_MUTABLE, "name": "noop"}
+        real = {"op": "mutate", "dataset": ds,
+                "request": {"add": [["http://ex/new", "http://ex/p", '"9"']]}}
+        noop = {"op": "mutate", "dataset": ds,
+                "request": {"add": [["http://ex/a", "http://ex/p", '"1"']]}}  # present
+        with PooledExecutor(workers=2) as pool:
+            envelopes = pool.execute([real, noop, dict(noop)])
+            assert all(e["ok"] for e in envelopes)
+            assert envelopes[1]["result"]["added"] == 0
+            # Only the graph-changing mutation was logged for replay.
+            assert pool.stats()["mutations_logged"] == 1
+
+    def test_mutation_of_table_born_dataset_fails_identically(self):
+        batch = [
+            {
+                "op": "mutate",
+                "dataset": {"builtin": "dbpedia-persons", "params": {"n_subjects": 200}},
+                "id": "bad",
+                "request": {"add": [["http://ex/x", "http://ex/p", '"1"']]},
+            }
+        ]
+        inline_envelope = InlineExecutor().execute(batch)[0]
+        with PooledExecutor(workers=2) as pool:
+            pooled_envelope = pool.execute(batch)[0]
+            # Failed mutations never enter the broadcast log.
+            assert pool.stats()["mutations_logged"] == 0
+        assert not inline_envelope["ok"] and inline_envelope["status"] == 400
+        assert canonical([inline_envelope]) == canonical([pooled_envelope])
+
+    def test_concurrent_mutations_keep_the_log_in_sequence_order(self, tmp_path):
+        """Mutations racing in from many threads (a ThreadingHTTPServer
+        sharing one pooled executor) must append to the broadcast log in
+        sequence order — an out-of-order append would make workers skip
+        the lower sequence forever and silently diverge."""
+        from concurrent.futures import ThreadPoolExecutor as Threads
+
+        path = tmp_path / "race.nt"
+        path.write_text(NT_MUTABLE)
+        ds = {"path": str(path), "name": "race"}
+
+        def mutation(i):
+            return {
+                "op": "mutate",
+                "dataset": ds,
+                "request": {"add": [[f"http://ex/n{i}", "http://ex/p", f'"{i}"']]},
+            }
+
+        with PooledExecutor(workers=3) as pool:
+            with Threads(max_workers=6) as threads:
+                envelopes = list(
+                    threads.map(lambda i: pool.execute([mutation(i)])[0], range(6))
+                )
+            assert all(e["ok"] for e in envelopes)
+            seqs = [seq for seq, _ in pool._mutation_log]
+            assert seqs == sorted(seqs) == list(range(1, 7))
+            # Every generation 1..6 was observed exactly once, and a
+            # follow-up fan-out sees the fully converged graph everywhere.
+            assert sorted(e["result"]["generation"] for e in envelopes) == list(range(1, 7))
+            follow = pool.execute(
+                [
+                    {"op": "evaluate", "dataset": ds, "id": f"f{i}",
+                     "request": {"rule": "Cov", "exact": True}}
+                    for i in range(6)
+                ]
+            )
+        reference = InlineExecutor().execute(
+            [mutation(i) for i in range(6)]
+            + [{"op": "evaluate", "dataset": ds, "id": "f0",
+                "request": {"rule": "Cov", "exact": True}}]
+        )[-1]
+        assert {e["result"]["exact"] for e in follow} == {reference["result"]["exact"]}
+
+    def test_mutation_is_a_barrier_within_one_group(self):
+        """evaluate → mutate → evaluate of the *same* group key must see
+        two different dataset states (groups never span a mutation)."""
+        ds = {"ntriples": NT_MUTABLE, "name": "barrier"}
+        request = {"op": "evaluate", "dataset": ds, "request": {"rule": "Cov", "exact": True}}
+        mutate = {
+            "op": "mutate",
+            "dataset": ds,
+            "request": {"remove": [["http://ex/c", "http://ex/r", '"6"']]},
+        }
+        first, second, third = InlineExecutor().execute([request, mutate, dict(request)])
+        assert first["ok"] and second["ok"] and third["ok"]
+        assert first["result"]["exact"] != third["result"]["exact"]
+
+
 class TestCreateExecutor:
     def test_sizes_to_workers(self):
         inline = create_executor(workers=1)

@@ -15,7 +15,7 @@ import urllib.request
 import pytest
 
 from repro.service import InlineExecutor, make_server
-from repro.service.wire import _strip_timing
+from repro.service.wire import strip_timing
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +57,36 @@ class TestRoutes:
         assert payload["result"]["rule"] == "Cov"
         assert 0 < payload["result"]["value"] < 1
         assert "/" in payload["result"]["exact"]
+
+    def test_mutate_round_trip_changes_followup_answers(self, server):
+        dataset = {
+            "ntriples": '<http://ex/a> <http://ex/p> "1" .\n'
+                        '<http://ex/b> <http://ex/p> "2" .\n'
+                        '<http://ex/b> <http://ex/q> "3" .\n',
+            "name": "http-mutable",
+        }
+        _, before = _request(server, "/v1/evaluate", {"dataset": dataset, "rule": "Cov", "exact": True})
+        status, payload = _request(
+            server,
+            "/v1/mutate",
+            {"dataset": dataset, "add": [["http://ex/a", "http://ex/q", '"4"']]},
+        )
+        assert status == 200 and payload["ok"]
+        assert payload["result"]["generation"] == 1
+        assert payload["result"]["added"] == 1
+        _, after = _request(server, "/v1/evaluate", {"dataset": dataset, "rule": "Cov", "exact": True})
+        assert before["result"]["exact"] != after["result"]["exact"]
+        assert after["result"]["exact"] == "1/1"  # both subjects now have p and q
+
+    def test_mutate_rejects_table_born_dataset(self, server):
+        status, payload = _request(
+            server,
+            "/v1/mutate",
+            {"dataset": {"builtin": "dbpedia-persons", "params": {"n_subjects": 300}},
+             "add": [["http://ex/x", "http://ex/p", '"1"']]},
+        )
+        assert status == 400 and not payload["ok"]
+        assert payload["error"]["type"] == "DatasetError"
 
     def test_refine_matches_inline_executor(self, server):
         body = {
@@ -184,7 +214,7 @@ class TestConcurrency:
             t.join()
         statuses = {status for status, _ in results}
         assert statuses == {200}
-        payloads = [_strip_timing(dict(payload["result"], cached=False)) for _, payload in results]
+        payloads = [strip_timing(dict(payload["result"], cached=False)) for _, payload in results]
         assert all(p == payloads[0] for p in payloads)
         registry = server.service.executor.registry
         spec_key = [e for e in registry.describe() if e["spec"].get("params", {}).get("seed") == 3]

@@ -16,10 +16,12 @@ from repro.api import Dataset
 from repro.api.requests import (
     EvaluateRequest,
     LowestKRequest,
+    MutationRequest,
     RefineRequest,
     SweepRequest,
 )
 from repro.exceptions import RequestError
+from repro.rdf.terms import Literal, Triple, URI
 from repro.rules.parser import parse_rule
 from repro.service import (
     DatasetSpec,
@@ -33,7 +35,7 @@ from repro.service import (
     serialize_request,
     serialize_result,
 )
-from repro.service.wire import _strip_timing
+from repro.service.wire import strip_timing
 
 SPEC = DatasetSpec(builtin="dbpedia-persons", params=(("n_subjects", 400), ("seed", 7)))
 
@@ -93,6 +95,76 @@ class TestRequestRoundTrip:
         assert parse_request(dict(base, rule="Sim")).group_key != key
         assert parse_request(dict(base, dataset="wordnet-nouns")).group_key != key
         assert parse_request(dict(base, solver="branch-and-bound")).group_key != key
+
+
+class TestMutationWire:
+    NT_SPEC = DatasetSpec(ntriples='<http://ex/a> <http://ex/p> "1" .\n', name="wire")
+
+    def request(self) -> MutationRequest:
+        return MutationRequest(
+            add=(
+                Triple(URI("http://ex/b"), URI("http://ex/p"), Literal('tricky "quoted"\nline')),
+                Triple(URI("http://ex/b"), URI("http://ex/q"), URI("http://ex/a")),
+            ),
+            remove=(Triple(URI("http://ex/a"), URI("http://ex/p"), Literal("1")),),
+        ).validated()
+
+    def test_serialize_parse_is_identity(self):
+        wire = ServiceRequest(op="mutate", dataset=self.NT_SPEC, request=self.request(), id="m")
+        line = serialize_request(wire)
+        parsed = parse_request(line)
+        assert parsed == wire
+        assert serialize_request(parsed) == line
+        # Literals travel in their N-Triples spelling, URIs as bare strings.
+        payload = wire.to_dict()["request"]
+        assert payload["add"][0][2] == '"tricky \\"quoted\\"\\nline"'
+        assert payload["add"][1][2] == "http://ex/a"
+
+    def test_executed_envelope_matches_facade_answer(self):
+        wire = ServiceRequest(op="mutate", dataset=self.NT_SPEC, request=self.request(), id="m")
+        envelope = InlineExecutor().execute([parse_request(serialize_request(wire))])[0]
+        assert envelope["ok"] and envelope["op"] == "mutate"
+        direct = Dataset.from_ntriples_text(self.NT_SPEC.ntriples, name="wire").mutate(
+            self.request()
+        )
+        assert envelope["result"] == strip_timing(direct.to_dict())
+
+    def test_pathological_uri_spellings_round_trip(self):
+        """URIs whose own text looks bracketed or quote-wrapped must
+        survive serialize → parse exactly (the pool's mutation-log replay
+        depends on the codec being lossless for every term)."""
+        tricky = MutationRequest(
+            add=(
+                Triple(URI("<x>"), URI("http://ex/p"), URI('"quoted"')),
+                Triple(URI("http://ex/s"), URI("http://ex/p"), URI("<http://ex/o>")),
+            )
+        ).validated()
+        wire = ServiceRequest(op="mutate", dataset=self.NT_SPEC, request=tricky, id="t")
+        parsed = parse_request(serialize_request(wire))
+        assert parsed == wire
+        assert serialize_request(parsed) == serialize_request(wire)
+
+    def test_malformed_triples_rejected(self):
+        with pytest.raises(RequestError, match="3-element"):
+            parse_request(
+                {"op": "mutate", "dataset": "dbpedia-persons", "add": [["only", "two"]]}
+            )
+        with pytest.raises(RequestError, match="literal"):
+            parse_request(
+                {"op": "mutate", "dataset": "dbpedia-persons", "add": [['"lit"', "p", "o"]]}
+            )
+        with pytest.raises(RequestError, match="list"):
+            parse_request({"op": "mutate", "dataset": "dbpedia-persons", "add": "not-a-list"})
+        # JSON null/booleans are client mistakes, never Literal('None').
+        for bad in (None, True, False):
+            with pytest.raises(RequestError, match="cannot use"):
+                parse_request(
+                    {"op": "mutate", "dataset": "dbpedia-persons", "add": [["s", "p", bad]]}
+                )
+        with pytest.raises(RequestError, match="escape"):
+            parse_request(
+                {"op": "mutate", "dataset": "dbpedia-persons", "add": [["s", "p", '"bad\\x"']]}
+            )
 
 
 class TestRequestValidation:
@@ -177,7 +249,7 @@ class TestResultEnvelopes:
 
         session = Dataset.builtin("dbpedia-persons", n_subjects=400, seed=7).session()
         direct = getattr(session, op)(TYPED_REQUESTS[op].validated())
-        assert envelope["result"] == _strip_timing(direct.to_dict())
+        assert envelope["result"] == strip_timing(direct.to_dict())
         # The envelope itself is pure JSON (scalar-only payload).
         assert json.loads(json.dumps(envelope)) == envelope
 
