@@ -1,0 +1,123 @@
+"""Benchmark: cold parse + build vs snapshot warm start.
+
+The ISSUE-5 acceptance scenario on the 50k-subject YAGO-scale synthetic
+sort: the *cold* path parses N-Triples from disk and rebuilds the
+graph → ``PropertyMatrix`` → ``SignatureTable`` chain from scratch; the
+*warm* path reopens the persisted snapshot (``Dataset.load``,
+memory-mapped segments).  The loaded artifacts must be bit-identical to
+the cold build, and warm must win on wall-clock.  A second measurement
+times a service worker's boot-to-first-answer with an N-Triples spec vs
+a snapshot spec — the per-worker cost the pool pays.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Dataset
+from repro.datasets.synthetic import graph_from_signature_table, random_signature_table
+from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.signatures import SignatureTable
+from repro.rdf.ntriples import dumps_ntriples, load_ntriples
+from repro.service.executor import InlineExecutor
+
+N_SUBJECTS = 50_000
+LOAD_ROUNDS = 3
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _best_of(rounds, fn):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        elapsed, result = _timed(fn)
+        best = min(best, elapsed)
+    return best, result
+
+
+def test_bench_snapshot_cold_build_vs_warm_load(tmp_path, capsys):
+    reference = random_signature_table(
+        n_properties=40, n_signatures=64, n_subjects=N_SUBJECTS, seed=7
+    )
+    graph = graph_from_signature_table(reference, "http://yago-knowledge.org/resource/T")
+    nt_path = tmp_path / "yago50k.nt"
+    nt_path.write_text(dumps_ntriples(graph, sort=False), encoding="utf-8")
+
+    # Cold: parse the file and build the whole chain, as every process did
+    # before snapshots existed.
+    def cold():
+        parsed = load_ntriples(nt_path, name="yago50k")
+        matrix = PropertyMatrix.from_graph(parsed)
+        return matrix, SignatureTable.from_matrix(matrix)
+
+    cold_time, (cold_matrix, cold_table) = _timed(cold)
+
+    # Persist once (timed for the record; the cost is paid once, not per process).
+    dataset = Dataset.from_graph(graph, name="yago50k")
+    dataset._matrix, dataset._table = cold_matrix, cold_table
+    save_time, info = _timed(lambda: dataset.save(tmp_path / "snap"))
+
+    # Warm: reopen the persisted chain.
+    def warm():
+        loaded = Dataset.load(tmp_path / "snap")
+        return loaded, loaded.table
+
+    warm_time, (loaded, loaded_table) = _best_of(LOAD_ROUNDS, warm)
+    # verify=False is the just-wrote-it fast path: skip segment hashing.
+    unverified_time, _ = _best_of(
+        LOAD_ROUNDS, lambda: Dataset.load(tmp_path / "snap", verify=False).table
+    )
+
+    assert loaded_table.packed_support_matrix().tobytes() == cold_table.packed_support_matrix().tobytes()
+    assert loaded_table.count_vector().tobytes() == cold_table.count_vector().tobytes()
+    assert loaded_table.signatures == cold_table.signatures
+    assert loaded.matrix.data.tobytes() == cold_matrix.data.tobytes()
+    assert loaded.matrix.subjects == cold_matrix.subjects
+    speedup = cold_time / warm_time
+    assert speedup > 1.0, f"snapshot load must beat the cold build ({speedup:.2f}x)"
+
+    with capsys.disabled():
+        print()
+        print(f"[snapshot] {N_SUBJECTS} subjects, {cold_table.n_signatures} signatures, "
+              f"{len(graph)} triples; payload {info.total_bytes / 1e6:.1f} MB")
+        print(f"  cold parse+build      : {cold_time:.3f}s")
+        print(f"  snapshot save         : {save_time:.3f}s")
+        print(f"  warm load (verified)  : {warm_time:.3f}s   ({cold_time / warm_time:.1f}x)")
+        print(f"  warm load (no verify) : {unverified_time:.3f}s   ({cold_time / unverified_time:.1f}x)")
+
+
+def test_bench_snapshot_worker_boot_time(tmp_path, capsys):
+    """Boot-to-first-answer for a worker: N-Triples spec vs snapshot spec."""
+    reference = random_signature_table(
+        n_properties=40, n_signatures=64, n_subjects=N_SUBJECTS, seed=7
+    )
+    graph = graph_from_signature_table(reference, "http://yago-knowledge.org/resource/T")
+    nt_path = tmp_path / "yago50k.nt"
+    nt_path.write_text(dumps_ntriples(graph, sort=False), encoding="utf-8")
+    Dataset.from_graph(graph, name="yago50k").save(tmp_path / "snap")
+
+    request = {"op": "evaluate", "request": {"rule": "Cov"}}
+
+    def boot(spec):
+        # A fresh InlineExecutor is exactly what a new pool worker holds.
+        executor = InlineExecutor()
+        [envelope] = executor.execute([dict(request, dataset=spec)])
+        assert envelope["ok"]
+        return envelope
+
+    cold_boot, cold_envelope = _timed(
+        lambda: boot({"path": str(nt_path), "name": "yago50k"})
+    )
+    warm_boot, warm_envelope = _timed(lambda: boot({"snapshot": str(tmp_path / "snap")}))
+    assert warm_envelope["result"] == cold_envelope["result"]
+    assert warm_boot < cold_boot, "snapshot-backed worker boot must beat re-parsing"
+
+    with capsys.disabled():
+        print()
+        print(f"[worker boot] first answer over {N_SUBJECTS} subjects")
+        print(f"  ntriples spec (parse+build) : {cold_boot:.3f}s")
+        print(f"  snapshot spec (reopen)      : {warm_boot:.3f}s   ({cold_boot / warm_boot:.1f}x)")

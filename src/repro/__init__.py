@@ -24,6 +24,9 @@ The package provides:
 * a batch/HTTP service layer (:mod:`repro.service`): a JSONL wire codec,
   a dependency-aware batch executor with a multiprocess worker pool, and
   a stdlib HTTP front-end (``repro serve`` / ``repro batch``);
+* a persistence layer (:mod:`repro.storage`): relational property tables
+  and versioned binary dataset snapshots for zero-rebuild warm starts
+  (``Dataset.save``/``Dataset.load``, ``repro snapshot build/inspect``);
 * the NP-hardness reduction from 3-coloring (:mod:`repro.reduction`);
 * synthetic stand-ins for the paper's datasets (:mod:`repro.datasets`) and
   an experiment harness regenerating every table and figure
@@ -60,9 +63,10 @@ from repro.exceptions import (
     ReproError,
     RequestError,
     RuleError,
+    SnapshotError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Top-level conveniences resolved lazily so that ``import repro`` stays
 #: lightweight (the api package pulls in numpy/scipy-backed layers).
@@ -85,6 +89,7 @@ __all__ = [
     "RefinementError",
     "DatasetError",
     "RequestError",
+    "SnapshotError",
     "Dataset",
     "StructurednessSession",
     "InlineExecutor",

@@ -16,7 +16,10 @@ built at most once; ``stats`` counts the builds so tests can prove it.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.snapshots import SnapshotInfo
 
 from repro.exceptions import DatasetError, RequestError
 from repro.api.requests import MutationRequest
@@ -109,7 +112,15 @@ class Dataset:
             "matrix_patches": 0,
             "table_patches": 0,
             "patch_failures": 0,
+            # Which stages came from a persisted snapshot (set by load());
+            # 1 means the stage was restored from disk, not rebuilt.
+            "graph_from_snapshot": 0,
+            "matrix_from_snapshot": 0,
+            "table_from_snapshot": 0,
         }
+        # Set by load(): {"path": ..., "format_version": ...} provenance so
+        # registries and /v1/datasets can report snapshot-backed datasets.
+        self._snapshot_provenance: Optional[Dict[str, object]] = None
         # Bumped by every mutation that changes the graph; sessions compare
         # it against the generation they last served from to invalidate
         # exactly their stale result caches.
@@ -213,6 +224,102 @@ class Dataset:
         return cls(name=name or matrix.name, matrix=matrix)
 
     @classmethod
+    def load(
+        cls, path: object, *, name: str = "", mmap: bool = True, verify: bool = True
+    ) -> "Dataset":
+        """Reopen a dataset persisted with :meth:`save` — a zero-rebuild warm start.
+
+        The snapshot's matrix and signature table are restored immediately
+        (memory-mapped read-only when ``mmap`` is true, so the open is
+        I/O-bound); the RDF graph, whose hash indexes are Python dicts and
+        therefore genuinely expensive to materialise, is restored lazily on
+        first :attr:`graph` access — a handle that only answers
+        matrix/table queries never pays for it.  ``stats`` reports which
+        stages came from disk (``*_from_snapshot``), the persisted
+        mutation generation is carried over so ``mutate`` + re-:meth:`save`
+        round-trips, and ``name`` overrides the manifest's display name.
+        See DESIGN.md, "Persistence & snapshots".
+
+        Raises :class:`~repro.exceptions.SnapshotError` for anything other
+        than a complete, checksum-clean snapshot.
+        """
+        from repro.storage.snapshots import open_snapshot
+
+        snapshot = open_snapshot(path, mmap=mmap, verify=verify)
+        matrix = snapshot.load_matrix() if snapshot.has_stage("matrix") else None
+        table = snapshot.load_table() if snapshot.has_stage("table") else None
+        graph_factory = snapshot.load_graph if snapshot.has_stage("graph") else None
+        dataset = cls(
+            name=name or snapshot.info.name,
+            matrix=matrix,
+            table=table,
+            graph_factory=graph_factory,
+        )
+        dataset._generation = snapshot.info.generation
+        for stage in snapshot.info.stages:
+            dataset.stats[f"{stage}_from_snapshot"] = 1
+        dataset._snapshot_provenance = {
+            "path": str(snapshot.path),
+            "format_version": snapshot.info.format_version,
+        }
+        return dataset
+
+    def save(
+        self, path: object, *, name: Optional[str] = None, overwrite: bool = False
+    ) -> "SnapshotInfo":
+        """Persist the whole artifact chain as a snapshot directory at ``path``.
+
+        Whatever stages this handle can produce are built (once, through
+        the normal cached chain) and written: graph-born datasets persist
+        graph + matrix + table, matrix-born ones matrix + table, and
+        table-born ones (e.g. the synthetic builtins) just the table.  The
+        handle's mutation generation is recorded so a loaded copy
+        continues the same version sequence, and ``name`` overrides the
+        display name written to the manifest.  Returns the
+        :class:`~repro.storage.snapshots.SnapshotInfo` of the written
+        snapshot; see :meth:`load` for the warm-start path.
+        """
+        from repro.storage.snapshots import (
+            check_snapshot_target,
+            encode_chain,
+            write_encoded_snapshot,
+        )
+
+        # Refuse an unwritable target *before* building the chain (the
+        # write re-checks, so a race still fails safely — just later).
+        check_snapshot_target(path, overwrite=overwrite)
+        # Encode under the lock (the graph and its dictionary mutate in
+        # place, so the segment arrays must be derived from a quiescent
+        # chain), but run the expensive part — segment writes and SHA-256
+        # hashing — with the lock released, so concurrent queries on this
+        # dataset are not stalled behind disk I/O.
+        with self._lock:
+            table = self.table
+            graph = None
+            if self._graph is not None or self._graph_factory is not None:
+                graph = self.graph
+            matrix = self.matrix if graph is not None else self._matrix
+            encoded = encode_chain(graph=graph, matrix=matrix, table=table)
+            snapshot_name = name or self._name
+            generation = self._generation
+        return write_encoded_snapshot(
+            path,
+            encoded,
+            name=snapshot_name,
+            generation=generation,
+            overwrite=overwrite,
+        )
+
+    @property
+    def snapshot_provenance(self) -> Optional[Dict[str, object]]:
+        """Where this handle was loaded from (path + format version), or ``None``.
+
+        Only set by :meth:`load`; registries surface it so ``/v1/datasets``
+        shows which datasets are snapshot-backed.
+        """
+        return dict(self._snapshot_provenance) if self._snapshot_provenance else None
+
+    @classmethod
     def from_table(cls, table: SignatureTable, name: str = "") -> "Dataset":
         """Wrap an existing signature table."""
         return cls(name=name or table.name, table=table)
@@ -222,6 +329,7 @@ class Dataset:
     # ------------------------------------------------------------------ #
     @property
     def name(self) -> str:
+        """The dataset's human-readable display name."""
         return self._name
 
     @property

@@ -174,6 +174,7 @@ class MutationRequest:
     remove: Tuple[Triple, ...] = ()
 
     def validated(self) -> "MutationRequest":
+        """Coerce every add/remove entry to a Triple up front (atomicity)."""
         return replace(
             self,
             add=_coerce_triples(self.add, "add"),
@@ -190,6 +191,7 @@ class EvaluateRequest:
     exact: bool = False
 
     def validated(self) -> "EvaluateRequest":
+        """Check the rule spec type; return the request unchanged."""
         if not isinstance(self.rule, (str, Rule)):
             raise RequestError(f"rule must be a name, rule text or Rule, got {self.rule!r}")
         return self
@@ -208,6 +210,7 @@ class RefineRequest:
     witness_skip: bool = True
 
     def validated(self) -> "RefineRequest":
+        """Validate k/probe bounds and normalise θ fields to Fractions."""
         _check_positive_int(self.k, "k")
         _check_positive_int(self.max_probes, "max_probes")
         step = parse_theta(self.step)
@@ -230,6 +233,7 @@ class LowestKRequest:
     witness_skip: bool = True
 
     def validated(self) -> "LowestKRequest":
+        """Validate the k range and direction; normalise θ to a Fraction."""
         theta = parse_theta(self.theta)
         if self.direction not in ("up", "down", "auto"):
             raise RequestError(
@@ -260,6 +264,7 @@ class SweepRequest:
     witness_skip: bool = True
 
     def validated(self) -> "SweepRequest":
+        """Validate every k and the step; normalise θ fields to Fractions."""
         values = tuple(self.k_values)
         if not values:
             raise RequestError("k_values must name at least one k")

@@ -49,6 +49,7 @@ class DatasetInfo(_JsonResult):
     n_signatures: int
 
     def to_dict(self) -> Dict[str, object]:
+        """Scalar-only dict rendering (the wire payload; see to_json)."""
         return {
             "name": self.name,
             "n_subjects": self.n_subjects,
@@ -68,6 +69,7 @@ class EvaluationResult(_JsonResult):
     exact: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
+        """Scalar-only dict rendering (the wire payload; see to_json)."""
         payload: Dict[str, object] = {
             "dataset": self.dataset.to_dict(),
             "rule": self.rule,
@@ -102,6 +104,7 @@ class MutationResult(_JsonResult):
     n_subjects: int
 
     def to_dict(self) -> Dict[str, object]:
+        """Scalar-only dict rendering (the wire payload; see to_json)."""
         return {
             "dataset": self.dataset,
             "generation": self.generation,
@@ -124,6 +127,7 @@ class SortSummary(_JsonResult):
     properties_used: Tuple[str, ...]
 
     def to_dict(self) -> Dict[str, object]:
+        """Scalar-only dict rendering (the wire payload; see to_json)."""
         return {
             "index": self.index,
             "n_subjects": self.n_subjects,
@@ -157,6 +161,7 @@ class RefinementResult(_JsonResult):
     cached: bool = False
 
     def to_dict(self) -> Dict[str, object]:
+        """Scalar-only dict rendering (the wire payload; see to_json)."""
         return {
             "dataset": self.dataset.to_dict(),
             "rule": self.rule,
@@ -185,6 +190,7 @@ class SweepResult(_JsonResult):
         return [entry.theta for entry in self.entries]
 
     def to_dict(self) -> Dict[str, object]:
+        """Scalar-only dict rendering (the wire payload; see to_json)."""
         return {
             "dataset": self.dataset.to_dict(),
             "rule": self.rule,

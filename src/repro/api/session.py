@@ -264,6 +264,7 @@ class StructurednessSession:
 
     @property
     def info(self) -> DatasetInfo:
+        """The dataset's identifying statistics (forces the table build)."""
         return self.dataset.info
 
     def _info_from(self, table) -> DatasetInfo:

@@ -39,6 +39,13 @@ Run a JSONL batch through the service executor (4 worker processes)::
 Start the HTTP service (``--port 0`` picks an ephemeral port)::
 
     repro serve --port 8080 --workers 4
+
+Persist a dataset's artifact chain and inspect the result (see
+docs/snapshots.md)::
+
+    repro snapshot build snapshots/persons --builtin dbpedia-persons --param n_subjects=5000
+    repro snapshot build snapshots/people --ntriples data.nt --sort http://xmlns.com/foaf/0.1/Person
+    repro snapshot inspect snapshots/persons --json
 """
 
 from __future__ import annotations
@@ -48,8 +55,9 @@ import sys
 from fractions import Fraction
 from typing import Dict, List, Optional
 
+from repro import __version__
 from repro.api import Dataset, StructurednessSession, parse_theta
-from repro.exceptions import RequestError
+from repro.exceptions import RequestError, SnapshotError
 from repro.ilp.registry import DEFAULT_SOLVER, solver_names
 from repro.matrix.horizontal import render_signature_table
 from repro.rules.parser import parse_rule
@@ -62,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RDF structuredness functions and ILP-based sort refinement (VLDB 2014 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command")
 
@@ -121,6 +132,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1, help="worker processes (1 = inline)")
     serve.add_argument("--time-limit", type=float, default=None, help="per-ILP time limit in seconds")
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="persist and inspect binary dataset snapshots"
+    )
+    snapshot.set_defaults(snapshot_parser=snapshot)
+    snapshot_commands = snapshot.add_subparsers(dest="snapshot_command")
+    build = snapshot_commands.add_parser(
+        "build", help="build a dataset and persist its artifact chain"
+    )
+    build.add_argument("output", help="snapshot directory to write")
+    source = build.add_mutually_exclusive_group(required=True)
+    source.add_argument("--ntriples", help="path to an N-Triples file")
+    source.add_argument("--builtin", help="a built-in synthetic dataset name")
+    build.add_argument("--sort", help="restrict to subjects declared of this rdf:type (N-Triples only)")
+    build.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        help="built-in generator parameter, e.g. --param n_subjects=5000 (repeatable)",
+    )
+    build.add_argument("--name", help="dataset display name recorded in the manifest")
+    build.add_argument("--force", action="store_true", help="overwrite an existing snapshot")
+    build.add_argument("--json", action="store_true", help="emit the manifest info as JSON")
+    inspect = snapshot_commands.add_parser(
+        "inspect", help="verify a snapshot and print its manifest"
+    )
+    inspect.add_argument("path", help="snapshot directory to inspect")
+    inspect.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-segment SHA-256 pass (structure and sizes are still checked)",
+    )
+    inspect.add_argument("--json", action="store_true", help="emit the manifest info as JSON")
     return parser
 
 
@@ -256,6 +300,61 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_snapshot(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    if args.snapshot_command == "build":
+        if args.builtin is not None:
+            if args.sort:
+                raise SystemExit("--sort applies to --ntriples sources, not --builtin")
+            dataset = Dataset.builtin(args.builtin, **_parse_params(args.param))
+        else:
+            if args.param:
+                raise SystemExit("--param applies to --builtin sources, not --ntriples")
+            dataset = Dataset.from_ntriples(args.ntriples, sort=args.sort)
+        try:
+            info = dataset.save(args.output, name=args.name, overwrite=args.force)
+        except SnapshotError as error:
+            raise SystemExit(f"snapshot build: {error}")
+        if args.json:
+            print(json.dumps(info.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(_render_snapshot_info(info, verb="wrote"))
+        return 0
+    if args.snapshot_command == "inspect":
+        from repro.storage.snapshots import inspect_snapshot
+
+        try:
+            info = inspect_snapshot(args.path, verify=not args.no_verify)
+        except SnapshotError as error:
+            raise SystemExit(f"snapshot inspect: {error}")
+        if args.json:
+            print(json.dumps(info.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(_render_snapshot_info(info, verb="verified"))
+        return 0
+    # No subcommand: print the snapshot help but fail, like bare `repro`.
+    args.snapshot_parser.print_help(sys.stderr)
+    return 1
+
+
+def _render_snapshot_info(info, verb: str) -> str:
+    lines = [
+        f"{verb} snapshot {info.path} (format v{info.format_version})",
+        f"  dataset    : {info.name or '(unnamed)'}",
+        f"  generation : {info.generation}",
+        f"  stages     : {', '.join(info.stages)}",
+        f"  counts     : " + ", ".join(f"{k}={v}" for k, v in sorted(info.counts.items())),
+        f"  payload    : {info.total_bytes} bytes in {len(info.segments)} segments",
+    ]
+    for segment_name in sorted(info.segments):
+        meta = info.segments[segment_name]
+        lines.append(
+            f"    {segment_name:<22} {int(meta['bytes']):>12} bytes  sha256 {str(meta['sha256'])[:12]}…"
+        )
+    return "\n".join(lines)
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
@@ -282,6 +381,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_batch(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "snapshot":
+        return _command_snapshot(args, parser)
     parser.print_help()
     return 1
 

@@ -54,3 +54,13 @@ class DatasetError(ReproError):
 
 class RequestError(ReproError):
     """Raised when a :mod:`repro.api` request object is malformed."""
+
+
+class SnapshotError(ReproError):
+    """Raised when a dataset snapshot cannot be written, opened or trusted.
+
+    Covers every failure mode of :mod:`repro.storage.snapshots`: magic or
+    format-version mismatch, missing or truncated segment files, checksum
+    drift, and malformed manifests.  A snapshot either loads completely or
+    raises — there is no partial load.
+    """

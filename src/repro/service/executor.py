@@ -147,6 +147,7 @@ class BatchExecutor:
         return self._execute_groups([group])[0][0]
 
     def stats(self) -> Dict[str, object]:  # pragma: no cover - interface
+        """Executor counters for ``/v1/stats`` (subclass responsibility)."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -233,6 +234,7 @@ class InlineExecutor(BatchExecutor):
         }
 
     def close(self) -> None:
+        """Drop every cached session (the registry and its datasets remain)."""
         with self._lock:
             self._sessions.clear()
 

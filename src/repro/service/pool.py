@@ -221,6 +221,7 @@ class PooledExecutor(BatchExecutor):
         return envelope
 
     def stats(self) -> Dict[str, object]:
+        """Pool-level counters: worker count, jobs dispatched, log length."""
         with self._lock:
             log_length = len(self._mutation_log)
         return {

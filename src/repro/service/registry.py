@@ -30,34 +30,48 @@ _SCALARS = (str, int, float, bool, type(None))
 class DatasetSpec:
     """A declarative, picklable description of one dataset.
 
-    Exactly one of ``builtin`` / ``path`` / ``ntriples`` must be given:
+    Exactly one of ``builtin`` / ``path`` / ``ntriples`` / ``snapshot``
+    must be given:
 
     * ``builtin`` — a name from :func:`repro.api.builtin_dataset_names`,
       with ``params`` forwarded to the generator (``n_subjects``, ...);
     * ``path`` — an N-Triples file on disk;
-    * ``ntriples`` — inline N-Triples source text.
+    * ``ntriples`` — inline N-Triples source text;
+    * ``snapshot`` — a snapshot directory written by ``Dataset.save`` /
+      ``repro snapshot build``: the worker reopens the persisted artifact
+      chain instead of re-parsing and rebuilding (the warm-start source;
+      see DESIGN.md, "Persistence & snapshots").
 
     ``sort`` (an ``rdf:type`` URI restricting the subjects) applies to the
-    graph-born variants.  Specs are frozen value objects; ``key`` is a
-    canonical string used to group batch requests and to index registries.
+    N-Triples variants only — a snapshot is a prebuilt chain, restrict the
+    dataset *before* saving it.  Specs are frozen value objects; ``key``
+    is a canonical string used to group batch requests and to index
+    registries.
     """
 
     builtin: Optional[str] = None
     path: Optional[str] = None
     ntriples: Optional[str] = None
+    snapshot: Optional[str] = None
     sort: Optional[str] = None
     name: Optional[str] = None
     params: Tuple[Tuple[str, object], ...] = field(default=())
 
     def validated(self) -> "DatasetSpec":
-        sources = [s for s in ("builtin", "path", "ntriples") if getattr(self, s) is not None]
+        """Check source exclusivity and parameter shapes; return ``self``."""
+        sources = [
+            s for s in ("builtin", "path", "ntriples", "snapshot")
+            if getattr(self, s) is not None
+        ]
         if len(sources) != 1:
             raise RequestError(
-                "a dataset spec needs exactly one of 'builtin', 'path' or 'ntriples', "
-                f"got {sources or 'none'}"
+                "a dataset spec needs exactly one of 'builtin', 'path', 'ntriples' "
+                f"or 'snapshot', got {sources or 'none'}"
             )
-        if self.builtin is not None and self.sort is not None:
-            raise RequestError("'sort' applies to N-Triples datasets, not built-in generators")
+        if self.sort is not None and (self.builtin is not None or self.snapshot is not None):
+            raise RequestError(
+                "'sort' applies to N-Triples datasets, not built-in generators or snapshots"
+            )
         if self.params and self.builtin is None:
             raise RequestError("'params' only applies to built-in generator datasets")
         for key, value in self.params:
@@ -74,7 +88,7 @@ class DatasetSpec:
             return cls(builtin=data).validated()
         if not isinstance(data, dict):
             raise RequestError(f"a dataset spec must be a name or an object, got {data!r}")
-        unknown = set(data) - {"builtin", "path", "ntriples", "sort", "name", "params"}
+        unknown = set(data) - {"builtin", "path", "ntriples", "snapshot", "sort", "name", "params"}
         if unknown:
             raise RequestError(f"unknown dataset spec fields: {', '.join(sorted(unknown))}")
         params = data.get("params") or {}
@@ -84,14 +98,16 @@ class DatasetSpec:
             builtin=data.get("builtin"),
             path=data.get("path"),
             ntriples=data.get("ntriples"),
+            snapshot=data.get("snapshot"),
             sort=data.get("sort"),
             name=data.get("name"),
             params=tuple(sorted(params.items())),
         ).validated()
 
     def to_dict(self) -> Dict[str, object]:
+        """The spec's wire form (inverse of :meth:`from_dict`)."""
         payload: Dict[str, object] = {}
-        for field_name in ("builtin", "path", "ntriples", "sort", "name"):
+        for field_name in ("builtin", "path", "ntriples", "snapshot", "sort", "name"):
             value = getattr(self, field_name)
             if value is not None:
                 payload[field_name] = value
@@ -113,6 +129,8 @@ class DatasetSpec:
                     f"unknown built-in dataset {self.builtin!r}; available: {known}"
                 )
             return Dataset.builtin(self.builtin, **dict(self.params))
+        if self.snapshot is not None:
+            return Dataset.load(self.snapshot, name=self.name or "")
         if self.path is not None:
             return Dataset.from_ntriples(self.path, name=self.name or "", sort=self.sort)
         return Dataset.from_ntriples_text(
@@ -156,18 +174,23 @@ class DatasetRegistry:
 
         ``generation`` counts the mutations applied to this process's copy
         of the dataset — the pool's convergence invariant is that every
-        worker reports the same generation for the same spec.
+        worker reports the same generation for the same spec.  Datasets
+        reopened from a snapshot additionally carry a ``snapshot`` entry
+        (path + on-disk format version) so ``/v1/datasets`` shows their
+        provenance.
         """
         with self._lock:
             entries = []
             for key, dataset in self._datasets.items():
-                entries.append(
-                    {
-                        "spec": self._specs[key].to_dict(),
-                        "name": dataset.name,
-                        "generation": dataset.generation,
-                        "table_built": dataset.stats["table_builds"] > 0
-                        or dataset._table is not None,
-                    }
-                )
+                entry = {
+                    "spec": self._specs[key].to_dict(),
+                    "name": dataset.name,
+                    "generation": dataset.generation,
+                    "table_built": dataset.stats["table_builds"] > 0
+                    or dataset._table is not None,
+                }
+                provenance = dataset.snapshot_provenance
+                if provenance is not None:
+                    entry["snapshot"] = provenance
+                entries.append(entry)
             return entries

@@ -43,6 +43,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from repro import __version__
 from repro.api.dataset import builtin_dataset_names
 from repro.exceptions import ReproError, RequestError
 from repro.service.executor import BatchExecutor, create_executor
@@ -110,22 +111,30 @@ class StructurednessService:
         return 200, {"ok": True, "count": len(envelopes), "results": envelopes}
 
     def handle_datasets(self) -> Tuple[int, Dict[str, object]]:
+        """``GET /v1/datasets``: builtin names + the registry inventory.
+
+        Registry entries carry spec, name, generation and — for datasets
+        reopened from a snapshot — the snapshot path and format version.
+        """
         payload: Dict[str, object] = {"builtin": list(builtin_dataset_names())}
         registry = getattr(self.executor, "registry", None)
         payload["loaded"] = registry.describe() if registry is not None else []
         return 200, payload
 
     def handle_stats(self) -> Tuple[int, Dict[str, object]]:
+        """``GET /v1/stats``: HTTP counters plus the executor's stats."""
         with self._lock:
             server_counters = dict(self.counters)
         return 200, {"server": server_counters, "executor": self.executor.stats()}
 
     def close(self) -> None:
+        """Shut the underlying executor down."""
         self.executor.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-structuredness/1.3"
+    # Derived from the package version so releases cannot drift it.
+    server_version = f"repro-structuredness/{'.'.join(__version__.split('.')[:2])}"
     protocol_version = "HTTP/1.1"
 
     @property
@@ -203,10 +212,12 @@ class ServiceServer(ThreadingHTTPServer):
 
     @property
     def url(self) -> str:
+        """The server's base URL (useful with ``port=0`` ephemeral binds)."""
         host, port = self.server_address[0], self.server_address[1]
         return f"http://{host}:{port}"
 
     def close(self) -> None:
+        """Stop serving, release the socket and close the service."""
         self.shutdown()
         self.server_close()
         self.service.close()

@@ -172,6 +172,7 @@ class ServiceRequest:
         return (self.dataset.key, self.rule_key, self.solver or "")
 
     def to_dict(self) -> Dict[str, object]:
+        """The request's wire dict (inverse of :func:`parse_request`)."""
         payload: Dict[str, object] = {"op": self.op}
         if self.id is not None:
             payload["id"] = self.id

@@ -1,9 +1,46 @@
-"""Relational property-table materialisation of sort refinements."""
+"""Persistence layer: relational property tables and binary dataset snapshots.
+
+Two ways artifacts leave process memory:
+
+* :mod:`repro.storage.property_tables` — the relational materialisation of
+  a sort refinement (Section 4's property tables, with null ratios);
+* :mod:`repro.storage.snapshots` — the versioned, checksummed binary
+  snapshot store persisting the graph → matrix → signature-table chain for
+  zero-rebuild warm starts (see DESIGN.md, "Persistence & snapshots").
+"""
 
 from repro.storage.property_tables import (
     PropertyTable,
     build_property_tables,
     null_ratio_report,
 )
+from repro.storage.snapshots import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    EncodedChain,
+    Snapshot,
+    SnapshotInfo,
+    check_snapshot_target,
+    encode_chain,
+    inspect_snapshot,
+    open_snapshot,
+    write_encoded_snapshot,
+    write_snapshot,
+)
 
-__all__ = ["PropertyTable", "build_property_tables", "null_ratio_report"]
+__all__ = [
+    "PropertyTable",
+    "build_property_tables",
+    "null_ratio_report",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "EncodedChain",
+    "Snapshot",
+    "SnapshotInfo",
+    "check_snapshot_target",
+    "encode_chain",
+    "inspect_snapshot",
+    "open_snapshot",
+    "write_encoded_snapshot",
+    "write_snapshot",
+]

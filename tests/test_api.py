@@ -55,23 +55,24 @@ NTRIPLES = """
 class TestDataset:
     def test_from_ntriples_text_builds_chain_lazily(self):
         dataset = Dataset.from_ntriples_text(NTRIPLES, name="api test")
-        assert dataset.stats == {
-            "graph_builds": 0, "matrix_builds": 0, "table_builds": 0,
+        untouched = {
             "mutations": 0, "matrix_patches": 0, "table_patches": 0, "patch_failures": 0,
+            "graph_from_snapshot": 0, "matrix_from_snapshot": 0, "table_from_snapshot": 0,
+        }
+        assert dataset.stats == {
+            "graph_builds": 0, "matrix_builds": 0, "table_builds": 0, **untouched,
         }
         table = dataset.table
         assert table.n_subjects == 3
         assert dataset.stats == {
-            "graph_builds": 1, "matrix_builds": 1, "table_builds": 1,
-            "mutations": 0, "matrix_patches": 0, "table_patches": 0, "patch_failures": 0,
+            "graph_builds": 1, "matrix_builds": 1, "table_builds": 1, **untouched,
         }
         # Every stage is cached: repeated access builds nothing.
         assert dataset.table is table
         assert dataset.graph is dataset.graph
         assert dataset.matrix is dataset.matrix
         assert dataset.stats == {
-            "graph_builds": 1, "matrix_builds": 1, "table_builds": 1,
-            "mutations": 0, "matrix_patches": 0, "table_patches": 0, "patch_failures": 0,
+            "graph_builds": 1, "matrix_builds": 1, "table_builds": 1, **untouched,
         }
 
     def test_from_table_has_no_graph(self, toy_persons_table):
@@ -253,6 +254,7 @@ class TestThreadSafety:
         assert dataset.stats == {
             "graph_builds": 1, "matrix_builds": 1, "table_builds": 1,
             "mutations": 0, "matrix_patches": 0, "table_patches": 0, "patch_failures": 0,
+            "graph_from_snapshot": 0, "matrix_from_snapshot": 0, "table_from_snapshot": 0,
         }
 
     def test_threaded_identical_refines_solve_once(self, toy_persons_table):

@@ -192,3 +192,46 @@ class TestBatch:
     def test_parser_knows_batch_and_serve(self):
         text = build_parser().format_help()
         assert "batch" in text and "serve" in text
+
+
+class TestSnapshotCommand:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_build_and_inspect_round_trip(self, persons_file, tmp_path, capsys):
+        snap = str(tmp_path / "snap")
+        assert main(["snapshot", "build", snap, "--ntriples", persons_file]) == 0
+        out = capsys.readouterr().out
+        assert "wrote snapshot" in out and "graph, matrix, table" in out
+        assert main(["snapshot", "inspect", snap]) == 0
+        assert "verified snapshot" in capsys.readouterr().out
+
+    def test_inspect_json_is_machine_readable(self, persons_file, tmp_path, capsys):
+        import json
+
+        snap = str(tmp_path / "snap")
+        main(["snapshot", "build", snap, "--ntriples", persons_file, "--name", "toy"])
+        capsys.readouterr()
+        assert main(["snapshot", "inspect", snap, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "toy" and payload["format_version"] == 1
+
+    def test_build_refuses_to_clobber_without_force(self, persons_file, tmp_path):
+        snap = str(tmp_path / "snap")
+        main(["snapshot", "build", snap, "--ntriples", persons_file])
+        with pytest.raises(SystemExit, match="already exists"):
+            main(["snapshot", "build", snap, "--ntriples", persons_file])
+        assert main(["snapshot", "build", snap, "--ntriples", persons_file, "--force"]) == 0
+
+    def test_inspect_missing_snapshot_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="snapshot inspect"):
+            main(["snapshot", "inspect", str(tmp_path / "nowhere")])
+
+    def test_no_subcommand_prints_help_and_fails(self, capsys):
+        assert main(["snapshot"]) == 1
+        assert "usage" in capsys.readouterr().err.lower()
