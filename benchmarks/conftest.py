@@ -10,7 +10,14 @@ CPLEX runtimes, full-dataset subject counts).
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
+
+#: Where ``bench_artifact`` drops its ``BENCH_<name>.json`` files.  CI
+#: uploads the whole directory so benchmark numbers survive the run.
+ARTIFACT_DIR = pathlib.Path(__file__).resolve().parent / "artifacts"
 
 
 def pytest_configure(config):
@@ -29,3 +36,22 @@ def show_result(capsys):
             print(result.to_text())
 
     return _show
+
+
+@pytest.fixture
+def bench_artifact():
+    """Persist a benchmark's measurements as ``benchmarks/artifacts/BENCH_<name>.json``.
+
+    A benchmark calls ``bench_artifact(name, payload)`` with a JSON-serialisable
+    payload (timings, speedups, configuration); the file survives the pytest
+    run so CI can upload it and successive runs can be diffed.  Returns the
+    written path.
+    """
+
+    def _write(name: str, payload: dict) -> pathlib.Path:
+        ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+        path = ARTIFACT_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _write

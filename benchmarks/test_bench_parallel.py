@@ -1,0 +1,86 @@
+"""Benchmark — speculative parallel lowest-k sweeps vs the serial baseline.
+
+The speculative prober in :mod:`repro.core.search` launches the next few
+(k, θ) ILP probes on worker threads while the calling thread consumes the
+current one; with ``jobs=1`` the exact serial path runs instead.  This
+benchmark sweeps the YAGO-like sort sample (the same workload as
+``test_bench_lowest_k_sweep``) once with ``jobs=1`` and once with
+``jobs=8``, asserts the payloads are bit-identical, and records the
+speedup in ``benchmarks/artifacts/BENCH_parallel.json``.
+
+The ≥3× speedup gate only applies on machines with at least 8 CPUs —
+speculation cannot beat serial execution without cores to run on — but the
+bit-identity assertion holds everywhere, including single-core CI runners.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.search import lowest_k_refinement
+from repro.datasets import yago_sort_sample
+from repro.rules import coverage
+
+
+def _sweep_payload(result) -> dict:
+    """The determinism-relevant projection of one search result."""
+    return {
+        "k": result.k,
+        "theta": result.theta,
+        "n_probes": result.n_probes,
+        "n_solver_probes": result.n_solver_probes,
+        "steps": [
+            (step.theta, step.k, step.feasible, step.status)
+            for step in result.steps
+        ],
+    }
+
+
+def _timed_sweep(tables, rule, jobs):
+    start = time.perf_counter()
+    results = [
+        lowest_k_refinement(
+            table, rule, theta=0.5, direction="down",
+            solver_time_limit=20.0, jobs=jobs,
+        )
+        for table in tables
+    ]
+    elapsed = time.perf_counter() - start
+    return [_sweep_payload(result) for result in results], elapsed
+
+
+def test_bench_parallel_speedup(bench_artifact):
+    """jobs=8 sweep must match jobs=1 bit-for-bit; ≥3× faster on 8+ cores."""
+    tables = yago_sort_sample(n_sorts=25, seed=23, max_signatures=36, max_properties=18)[:12]
+    rule = coverage()
+
+    serial_payloads, serial_time = _timed_sweep(tables, rule, jobs=1)
+    parallel_payloads, parallel_time = _timed_sweep(tables, rule, jobs=8)
+
+    # Determinism is unconditional: speculation may only change wall-clock,
+    # never the probe sequence, the chosen k or the recorded steps.
+    assert parallel_payloads == serial_payloads
+
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    bench_artifact("parallel", {
+        "workload": "yago_sort_sample lowest-k sweep (theta=0.5, down, 12 sorts)",
+        "cpus": cpus,
+        "serial_seconds": serial_time,
+        "parallel_seconds": parallel_time,
+        "jobs": 8,
+        "speedup": speedup,
+        "payloads_identical": True,
+        "n_tables": len(tables),
+        "total_solver_probes": sum(p["n_solver_probes"] for p in serial_payloads),
+    })
+    print(
+        f"\nparallel sweep: serial {serial_time:.2f}s, jobs=8 {parallel_time:.2f}s, "
+        f"speedup {speedup:.2f}x on {cpus} CPUs"
+    )
+
+    if cpus >= 8:
+        assert speedup >= 3.0, (
+            f"expected >=3x speedup on {cpus} CPUs, measured {speedup:.2f}x"
+        )

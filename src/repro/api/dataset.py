@@ -25,6 +25,7 @@ from repro.exceptions import DatasetError, RequestError
 from repro.api.requests import MutationRequest
 from repro.api.results import DatasetInfo, MutationResult
 from repro.matrix.property_matrix import PropertyMatrix
+from repro.matrix.sharded import ShardedSignatureTable
 from repro.matrix.signatures import SignatureTable
 from repro.rdf.graph import RDFGraph
 from repro.rdf.ntriples import load_ntriples, parse_ntriples
@@ -84,6 +85,8 @@ class Dataset:
         table: Optional[SignatureTable] = None,
         graph_factory: Optional[Callable[[], RDFGraph]] = None,
         artifact_factory: Optional[Callable[[], object]] = None,
+        jobs: Optional[object] = None,
+        shards: int = 1,
     ):
         if (
             graph is None
@@ -93,10 +96,19 @@ class Dataset:
             and artifact_factory is None
         ):
             raise DatasetError("a Dataset needs a graph, matrix, table or a factory for one")
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise DatasetError(f"shards must be a positive integer, got {shards!r}")
         self._name = name
         self._graph = graph
         self._matrix = matrix
         self._table = table
+        #: Default parallelism for sessions over this dataset (``None``
+        #: defers to ``REPRO_JOBS``; see :func:`repro.parallel.resolve_jobs`).
+        #: Plain attributes — adjust after construction if needed.
+        self.jobs = jobs
+        #: How many shards :meth:`sharded_table` folds the signatures into.
+        self.shards = shards
+        self._sharded: Optional[ShardedSignatureTable] = None
         self._graph_factory = graph_factory
         # A deferred generator producing either a SignatureTable or an
         # RDFGraph (Dataset.builtin); run at most once, on first access.
@@ -156,28 +168,36 @@ class Dataset:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_ntriples(cls, path: object, name: str = "", sort: Optional[object] = None) -> "Dataset":
+    def from_ntriples(
+        cls, path: object, name: str = "", sort: Optional[object] = None,
+        jobs: Optional[object] = None, shards: int = 1,
+    ) -> "Dataset":
         """A dataset read lazily from an N-Triples file.
 
         ``sort`` optionally restricts the graph to the subjects declared of
-        that ``rdf:type`` (like the CLI's ``--sort``).
+        that ``rdf:type`` (like the CLI's ``--sort``).  ``jobs`` and
+        ``shards`` set the handle's parallelism defaults (see
+        :attr:`jobs` / :attr:`shards`); every constructor accepts them.
         """
 
         def build() -> RDFGraph:
             graph = load_ntriples(path, name=name or str(path))
             return graph.sort_subgraph(sort) if sort else graph
 
-        return cls(name=name or str(path), graph_factory=build)
+        return cls(name=name or str(path), graph_factory=build, jobs=jobs, shards=shards)
 
     @classmethod
-    def from_ntriples_text(cls, text: str, name: str = "", sort: Optional[object] = None) -> "Dataset":
+    def from_ntriples_text(
+        cls, text: str, name: str = "", sort: Optional[object] = None,
+        jobs: Optional[object] = None, shards: int = 1,
+    ) -> "Dataset":
         """A dataset parsed lazily from N-Triples source text."""
 
         def build() -> RDFGraph:
             graph = parse_ntriples(text, name=name)
             return graph.sort_subgraph(sort) if sort else graph
 
-        return cls(name=name, graph_factory=build)
+        return cls(name=name, graph_factory=build, jobs=jobs, shards=shards)
 
     @classmethod
     def builtin(cls, name: str, **params) -> "Dataset":
@@ -197,7 +217,10 @@ class Dataset:
         return cls(name=name, artifact_factory=lambda: factory(**params))
 
     @classmethod
-    def from_graph(cls, graph: RDFGraph, name: str = "", sort: Optional[object] = None) -> "Dataset":
+    def from_graph(
+        cls, graph: RDFGraph, name: str = "", sort: Optional[object] = None,
+        jobs: Optional[object] = None, shards: int = 1,
+    ) -> "Dataset":
         """Wrap an existing :class:`RDFGraph` (optionally one rdf:type sort of it).
 
         The handle takes *ownership* for mutation purposes: :meth:`mutate`
@@ -215,13 +238,16 @@ class Dataset:
             snapshot = RDFGraph(
                 list(graph.sort_subgraph(sort)), name=name or graph.name
             )
-            return cls(name=snapshot.name, graph=snapshot)
-        return cls(name=name or graph.name, graph=graph)
+            return cls(name=snapshot.name, graph=snapshot, jobs=jobs, shards=shards)
+        return cls(name=name or graph.name, graph=graph, jobs=jobs, shards=shards)
 
     @classmethod
-    def from_matrix(cls, matrix: PropertyMatrix, name: str = "") -> "Dataset":
+    def from_matrix(
+        cls, matrix: PropertyMatrix, name: str = "",
+        jobs: Optional[object] = None, shards: int = 1,
+    ) -> "Dataset":
         """Wrap an existing property matrix M(D)."""
-        return cls(name=name or matrix.name, matrix=matrix)
+        return cls(name=name or matrix.name, matrix=matrix, jobs=jobs, shards=shards)
 
     @classmethod
     def load(
@@ -320,9 +346,12 @@ class Dataset:
         return dict(self._snapshot_provenance) if self._snapshot_provenance else None
 
     @classmethod
-    def from_table(cls, table: SignatureTable, name: str = "") -> "Dataset":
+    def from_table(
+        cls, table: SignatureTable, name: str = "",
+        jobs: Optional[object] = None, shards: int = 1,
+    ) -> "Dataset":
         """Wrap an existing signature table."""
-        return cls(name=name or table.name, table=table)
+        return cls(name=name or table.name, table=table, jobs=jobs, shards=shards)
 
     # ------------------------------------------------------------------ #
     # The cached artifact chain
@@ -377,6 +406,25 @@ class Dataset:
                     self._table = SignatureTable.from_matrix(self.matrix)
                 self.stats["table_builds"] += 1
             return self._table
+
+    def sharded_table(self, shards: Optional[int] = None) -> ShardedSignatureTable:
+        """The signature table folded into ``shards`` content-hash shards.
+
+        Built once per (table, shard count) and cached; mutations refresh
+        the cached view incrementally (only the dirty shards are rebuilt —
+        see :meth:`ShardedSignatureTable.refreshed`).  ``shards`` defaults
+        to the handle's :attr:`shards` setting.
+        """
+        with self._lock:
+            n_shards = self.shards if shards is None else shards
+            table = self.table
+            if (
+                self._sharded is None
+                or self._sharded.table is not table
+                or self._sharded.n_shards != n_shards
+            ):
+                self._sharded = ShardedSignatureTable(table, n_shards)
+            return self._sharded
 
     @property
     def info(self) -> DatasetInfo:
@@ -458,6 +506,15 @@ class Dataset:
                             # No per-subject provenance to patch from: drop
                             # the stage and let the next access rebuild it.
                             self._table = None
+                    if self._sharded is not None:
+                        if table_patched:
+                            # Incremental re-shard: only the shards whose
+                            # signatures the delta touched are rebuilt.
+                            self._sharded = self._sharded.refreshed(
+                                self._table, subjects=delta.subjects
+                            )
+                        else:
+                            self._sharded = None
                     # Counted only once the whole chain patched: a patch
                     # that was discarded by the failure path below must not
                     # inflate the zero-redundant-build accounting.
@@ -472,6 +529,7 @@ class Dataset:
                     # mutated graph, and count the event.
                     self._matrix = None
                     self._table = None
+                    self._sharded = None
                     self.stats["patch_failures"] += 1
             return MutationResult(
                 dataset=self._name,

@@ -1,0 +1,187 @@
+"""The executor facade behind every ``jobs`` knob in the library.
+
+One class, :class:`ParallelExecutor`, owns the thread/process pools used
+by parallel rule counting (:mod:`repro.rules.counting`), sharded σ
+evaluation (:mod:`repro.matrix.sharded`) and the speculative ILP probes
+of the searches (:mod:`repro.core.search`).  The design contract is:
+
+* ``jobs=1`` (the default) is **exactly today's serial code**: ``map``
+  degrades to a list comprehension on the calling thread, ``submit`` is
+  refused, and no pool is ever created.  Every caller that threads an
+  executor through must keep its ``jobs=1`` behaviour byte-identical to
+  the pre-parallel implementation.
+* ``jobs>1`` parallelises only *where results are provably
+  order-independent or consumed in serial order*: ``map`` preserves
+  input order, and the searches consume speculative futures in exactly
+  the sequence the serial state machine would probe, so results (and
+  wire payloads) stay bit-identical to ``jobs=1``.
+* Thread pools are the default (the NumPy counting kernels and the
+  HiGHS solver release the GIL); ``mode="process"`` fans picklable work
+  out across processes for pure-Python workloads.
+
+``resolve_jobs`` is the one place the ``REPRO_JOBS`` environment
+variable is honoured: ``jobs=None`` reads it (defaulting to 1), so CI
+can exercise every parallel path by exporting ``REPRO_JOBS=2`` without
+touching a single call site.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import RequestError
+
+__all__ = ["REPRO_JOBS_ENV", "resolve_jobs", "ParallelExecutor"]
+
+#: Environment variable read by :func:`resolve_jobs` when ``jobs`` is None.
+REPRO_JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[Union[int, str]] = None) -> int:
+    """Resolve a ``jobs`` setting to a concrete worker count (>= 1).
+
+    ``None`` reads the ``REPRO_JOBS`` environment variable (defaulting
+    to 1 when unset or empty); ``0`` or ``"auto"`` means one job per
+    available CPU; a positive integer (or its string spelling) passes
+    through.  Anything else raises
+    :class:`~repro.exceptions.RequestError`.
+    """
+    if jobs is None:
+        raw = os.environ.get(REPRO_JOBS_ENV)
+        if raw is None or not raw.strip():
+            return 1
+        jobs = raw.strip()
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                raise RequestError(
+                    f"jobs must be a positive integer, 0 or 'auto', got {jobs!r}"
+                ) from None
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise RequestError(f"jobs must be a positive integer, 0 or 'auto', got {jobs!r}")
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise RequestError(f"jobs must be a positive integer, 0 or 'auto', got {jobs!r}")
+    return jobs
+
+
+class ParallelExecutor:
+    """Order-preserving ``map`` plus a speculative ``submit`` surface.
+
+    Parameters
+    ----------
+    jobs:
+        Worker budget, resolved through :func:`resolve_jobs` (``None``
+        honours ``REPRO_JOBS``; 1 means strictly serial execution).
+    mode:
+        Default pool flavour for :meth:`map`: ``"thread"`` (the default;
+        right for NumPy kernels and GIL-releasing solvers) or
+        ``"process"`` (picklable work, pure-Python CPU-bound loops).
+
+    Pools are created lazily on first parallel use, reused across calls,
+    and shut down by :meth:`close` (also a context manager).  With
+    ``jobs=1`` no pool ever exists and ``map`` runs the exact serial
+    loop a plain list comprehension would.
+    """
+
+    def __init__(self, jobs: Optional[Union[int, str]] = None, mode: str = "thread"):
+        if mode not in ("thread", "process"):
+            raise RequestError(f"mode must be 'thread' or 'process', got {mode!r}")
+        self._jobs = resolve_jobs(jobs)
+        self._mode = mode
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        # Guards lazy pool creation: searches running on a threaded HTTP
+        # server may share one session executor across handler threads.
+        self._lock = threading.Lock()
+
+    @property
+    def jobs(self) -> int:
+        """The resolved worker budget (1 means serial execution)."""
+        return self._jobs
+
+    @property
+    def mode(self) -> str:
+        """The default pool flavour used by :meth:`map`."""
+        return self._mode
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor runs anything concurrently at all."""
+        return self._jobs > 1
+
+    def _pool(self, mode: str):
+        with self._lock:
+            if mode == "process":
+                if self._process_pool is None:
+                    self._process_pool = ProcessPoolExecutor(max_workers=self._jobs)
+                return self._process_pool
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self._jobs, thread_name_prefix="repro-jobs"
+                )
+            return self._thread_pool
+
+    def map(
+        self,
+        fn: Callable,
+        items: Union[Sequence, Iterable],
+        mode: Optional[str] = None,
+    ) -> List:
+        """Apply ``fn`` to every item, preserving input order in the result.
+
+        With ``jobs=1`` (or fewer than two items) this is literally
+        ``[fn(item) for item in items]`` on the calling thread — the
+        serial fallback every caller's determinism contract relies on.
+        Exceptions propagate exactly as in the serial loop: the first
+        failing item's exception is raised.
+        """
+        items = list(items)
+        if self._jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._pool(mode or self._mode)
+        return list(pool.map(fn, items))
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` on the thread pool; returns a Future.
+
+        This is the speculative-probe surface: the searches launch
+        upcoming ILP probes here and consume the futures in serial
+        order.  Only meaningful with ``jobs > 1`` — a serial executor
+        refuses, because eagerly evaluating a speculative thunk would
+        change the ``jobs=1`` behaviour the fallback contract promises.
+        """
+        if self._jobs <= 1:
+            raise RequestError("submit() requires a parallel executor (jobs > 1)")
+        return self._pool("thread").submit(fn, *args, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """Serialisable config: the resolved jobs budget and pool mode."""
+        return {"jobs": self._jobs, "mode": self._mode}
+
+    def close(self) -> None:
+        """Shut down any pools (in-flight futures are cancelled if possible)."""
+        with self._lock:
+            thread_pool, self._thread_pool = self._thread_pool, None
+            process_pool, self._process_pool = self._process_pool, None
+        if thread_pool is not None:
+            thread_pool.shutdown(wait=False, cancel_futures=True)
+        if process_pool is not None:
+            process_pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ParallelExecutor jobs={self._jobs} mode={self._mode!r}>"

@@ -30,6 +30,7 @@ anyway since structuredness should not depend on one particular subject).
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,6 +61,7 @@ __all__ = [
     "RoughCase",
     "count_rough",
     "enumerate_rough_assignments",
+    "rule_counts",
     "sigma_by_signatures",
     "sigma_by_signatures_fraction",
     "set_partitions",
@@ -98,16 +100,26 @@ class RoughCase:
         return f"<RoughCase total={self.total} favourable={self.favourable}>"
 
 
-def falling_factorial(n: int, k: int) -> int:
-    """Return ``n · (n-1) · ... · (n-k+1)`` (1 when k = 0, 0 when k > n)."""
-    if k < 0:
-        raise EvaluationError("falling_factorial needs k >= 0")
+@lru_cache(maxsize=None)
+def _falling_factorial_cached(n: int, k: int) -> int:
     result = 1
     for i in range(k):
         if n - i <= 0:
             return 0
         result *= n - i
     return result
+
+
+def falling_factorial(n: int, k: int) -> int:
+    """Return ``n · (n-1) · ... · (n-k+1)`` (1 when k = 0, 0 when k > n).
+
+    Memoized: the counting loops evaluate the same ``(size, blocks)``
+    pairs for every rough assignment of a rule, and the distinct pairs
+    are few (signature-set sizes × small partition widths).
+    """
+    if k < 0:
+        raise EvaluationError("falling_factorial needs k >= 0")
+    return _falling_factorial_cached(n, k)
 
 
 def set_partitions(items: Sequence) -> Iterator[List[List]]:
@@ -125,6 +137,30 @@ def set_partitions(items: Sequence) -> Iterator[List[List]]:
             new_partition = [list(block) for block in partition]
             new_partition[index].append(first)
             yield new_partition
+
+
+@lru_cache(maxsize=None)
+def _frozen_partitions(items: Tuple) -> Tuple[Tuple[Tuple, ...], ...]:
+    """Every set partition of ``items`` as immutable (shareable) tuples.
+
+    The counting core re-partitions the *same* variable groups for every
+    rough assignment of a rule; memoizing on the variable tuple hoists
+    the partition enumeration out of the per-assignment work entirely
+    (the distinct keys are the rules' variable groups — a handful).
+    """
+    return tuple(
+        tuple(tuple(block) for block in partition) for partition in set_partitions(items)
+    )
+
+
+@lru_cache(maxsize=None)
+def _variable_pair_keys(variables: Tuple) -> Tuple[frozenset, ...]:
+    """The unordered variable pairs of a rule, memoized per variable tuple."""
+    return tuple(
+        frozenset({a, b})
+        for i, a in enumerate(variables)
+        for b in variables[i + 1 :]
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -229,13 +265,15 @@ def _count_rough_indexed(formula: Formula, tau: _IndexedAssignment, ctx: _Indexe
 
     # Pre-compute, for each signature group, its possible partitions into
     # co-referent blocks and the number of injective subject choices each
-    # partition admits.
-    group_options: List[List[Tuple[List[List[Var]], int]]] = []
+    # partition admits.  The partitions themselves are memoized per
+    # variable group and the falling factorials per (size, blocks) pair,
+    # so the per-assignment cost is assembling the weighted options list.
+    group_options: List[List[Tuple[Tuple[Tuple[Var, ...], ...], int]]] = []
     for si, members in groups.items():
         size = ctx.counts[si]
-        options: List[Tuple[List[List[Var]], int]] = []
-        for partition in set_partitions(members):
-            ways = falling_factorial(size, len(partition))
+        options: List[Tuple[Tuple[Tuple[Var, ...], ...], int]] = []
+        for partition in _frozen_partitions(tuple(members)):
+            ways = _falling_factorial_cached(size, len(partition))
             if ways > 0:
                 options.append((partition, ways))
         if not options:
@@ -243,16 +281,12 @@ def _count_rough_indexed(formula: Formula, tau: _IndexedAssignment, ctx: _Indexe
         group_options.append(options)
 
     total = 0
-    pair_keys = [
-        frozenset({a, b})
-        for i, a in enumerate(variables)
-        for b in variables[i + 1 :]
-    ]
+    pair_keys = _variable_pair_keys(tuple(variables))
 
-    def recurse(index: int, blocks: List[List[Var]], weight: int) -> None:
+    def recurse(index: int, blocks: Tuple[Tuple[Var, ...], ...], weight: int) -> None:
         nonlocal total
         if index == len(group_options):
-            same_subject = {key: False for key in pair_keys}
+            same_subject = dict.fromkeys(pair_keys, False)
             for block in blocks:
                 for i, a in enumerate(block):
                     for b in block[i + 1 :]:
@@ -263,7 +297,7 @@ def _count_rough_indexed(formula: Formula, tau: _IndexedAssignment, ctx: _Indexe
         for partition, ways in group_options[index]:
             recurse(index + 1, blocks + partition, weight * ways)
 
-    recurse(0, [], 1)
+    recurse(0, (), 1)
     return total
 
 
@@ -426,12 +460,37 @@ def enumerate_rough_assignments(
     if len(variables) == 1:
         yield from _enumerate_single_variable(rule, variables[0], ctx, keep_zero_total)
         return
-    prunable = _prunable_conjuncts(rule.antecedent)
-    candidates: List[Tuple[int, int]] = [
+    yield from _enumerate_multi_variable(rule, ctx, keep_zero_total)
+
+
+def _candidate_pairs(ctx: _IndexedTable) -> List[Tuple[int, int]]:
+    """Every (signature index, property index) pair of the table, in order."""
+    return [
         (si, pj)
         for si in range(len(ctx.signatures))
         for pj in range(len(ctx.properties))
     ]
+
+
+def _enumerate_multi_variable(
+    rule: Rule,
+    ctx: _IndexedTable,
+    keep_zero_total: bool,
+    first_candidates: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Iterator[RoughCase]:
+    """Backtracking enumeration for rules with several variables.
+
+    ``first_candidates`` optionally restricts the candidate pairs of the
+    *first* variable (in sorted order) — the parallel counting path
+    chunks the full candidate list this way, which partitions the
+    assignment space disjointly: concatenating the chunks' cases in
+    chunk order reproduces the serial enumeration exactly.
+    """
+    variables = sorted(rule.variables())
+    prunable = _prunable_conjuncts(rule.antecedent)
+    candidates = _candidate_pairs(ctx)
+    if first_candidates is None:
+        first_candidates = candidates
     combined = rule.combined()
     signatures, properties = ctx.signatures, ctx.properties
 
@@ -447,7 +506,7 @@ def enumerate_rough_assignments(
             yield RoughCase(tau, total, favourable)
             return
         variable = variables[index]
-        for pair in candidates:
+        for pair in first_candidates if index == 0 else candidates:
             partial[variable] = pair
             if _partial_ok(prunable, partial):
                 yield from recurse(index + 1, partial)
@@ -478,18 +537,74 @@ _ALWAYS_DIFFERENT: Dict[frozenset, bool] = _AlwaysDifferent()
 # --------------------------------------------------------------------------- #
 # σ_r at the signature level
 # --------------------------------------------------------------------------- #
-def sigma_by_signatures_fraction(rule: Rule, table: SignatureTable) -> Fraction:
-    """Evaluate ``σ_r`` over a signature table, returning an exact fraction."""
-    total = 0
-    favourable = 0
-    for case in enumerate_rough_assignments(rule, table):
-        total += case.total
-        favourable += case.favourable
+def rule_counts(rule: Rule, table: SignatureTable, executor=None) -> Tuple[int, int]:
+    """``(total, favourable)`` concrete-assignment counts of ``rule``.
+
+    These are the two integers behind ``σ_r = favourable / total`` — the
+    sums of :class:`RoughCase` totals and favourables over every rough
+    assignment.  One-variable rules are fully vectorised (two boolean
+    matrix evaluations and two integer reductions, no per-case Python
+    loop).  Multi-variable rules run the backtracking enumeration; when
+    ``executor`` is a parallel :class:`~repro.parallel.ParallelExecutor`
+    the first variable's candidate pairs are split into contiguous
+    chunks counted concurrently on threads — the chunks partition the
+    assignment space disjointly, so the summed result is exactly the
+    serial one.
+    """
+    if rule.uses_subject_constants():
+        raise EvaluationError(
+            "rules with subj(c) = <uri> atoms are not supported at the signature level"
+        )
+    variables = sorted(rule.variables())
+    if not variables:
+        raise EvaluationError("cannot enumerate rough assignments of a variable-free rule")
+    ctx = _indexed_view(table)
+    if len(variables) == 1:
+        if ctx.support.size == 0:
+            return 0, 0
+        antecedent = _matrix_eval(rule.antecedent, ctx)
+        combined = _matrix_eval(rule.combined(), ctx)
+        counts = np.asarray(ctx.counts, dtype=np.int64)[:, None]
+        total = int(np.where(antecedent, counts, 0).sum())
+        favourable = int(np.where(antecedent & combined, counts, 0).sum())
+        return total, favourable
+
+    def count_cases(first_candidates: Optional[Sequence[Tuple[int, int]]]) -> Tuple[int, int]:
+        total = 0
+        favourable = 0
+        for case in _enumerate_multi_variable(
+            rule, ctx, False, first_candidates=first_candidates
+        ):
+            total += case.total
+            favourable += case.favourable
+        return total, favourable
+
+    candidates = _candidate_pairs(ctx)
+    if executor is None or not getattr(executor, "parallel", False) or len(candidates) <= 1:
+        return count_cases(None)
+    # Oversplit relative to the worker count so uneven chunks (pruning
+    # makes some first-variable pairs far cheaper than others) balance.
+    n_chunks = min(len(candidates), executor.jobs * 4)
+    bounds = [(len(candidates) * i) // n_chunks for i in range(n_chunks + 1)]
+    chunks = [candidates[bounds[i] : bounds[i + 1]] for i in range(n_chunks)]
+    results = executor.map(count_cases, chunks, mode="thread")
+    return sum(t for t, _f in results), sum(f for _t, f in results)
+
+
+def sigma_by_signatures_fraction(
+    rule: Rule, table: SignatureTable, executor=None
+) -> Fraction:
+    """Evaluate ``σ_r`` over a signature table, returning an exact fraction.
+
+    ``executor`` optionally parallelises the underlying
+    :func:`rule_counts`; the fraction is identical either way.
+    """
+    total, favourable = rule_counts(rule, table, executor=executor)
     if total == 0:
         return Fraction(1)
     return Fraction(favourable, total)
 
 
-def sigma_by_signatures(rule: Rule, table: SignatureTable) -> float:
+def sigma_by_signatures(rule: Rule, table: SignatureTable, executor=None) -> float:
     """Evaluate ``σ_r`` over a signature table, returning a float."""
-    return float(sigma_by_signatures_fraction(rule, table))
+    return float(sigma_by_signatures_fraction(rule, table, executor=executor))

@@ -58,10 +58,17 @@ _WORKER_EXECUTOR: Optional[InlineExecutor] = None
 _WORKER_APPLIED_SEQ: int = 0
 
 
-def _initialise_worker(solver_time_limit: Optional[float]) -> None:
-    """Pool initialiser: build the worker's long-lived inline engine."""
+def _initialise_worker(
+    solver_time_limit: Optional[float], jobs: Optional[object] = None
+) -> None:
+    """Pool initialiser: build the worker's long-lived inline engine.
+
+    ``jobs`` is the worker's intra-query parallelism budget, passed on to
+    every session the worker opens — the pool's total concurrency is
+    ``workers × jobs``.
+    """
     global _WORKER_EXECUTOR, _WORKER_APPLIED_SEQ
-    _WORKER_EXECUTOR = InlineExecutor(solver_time_limit=solver_time_limit)
+    _WORKER_EXECUTOR = InlineExecutor(solver_time_limit=solver_time_limit, jobs=jobs)
     _WORKER_APPLIED_SEQ = 0
 
 
@@ -118,6 +125,9 @@ class PooledExecutor(BatchExecutor):
         ``"forkserver"``) or ``None`` for the platform default.  Workers
         import everything they need, so all methods work; ``fork`` starts
         fastest where available.
+    jobs:
+        Intra-query parallelism budget passed through to every worker's
+        sessions (``None`` defers to ``REPRO_JOBS`` in the worker).
     """
 
     def __init__(
@@ -125,11 +135,13 @@ class PooledExecutor(BatchExecutor):
         workers: int = 4,
         solver_time_limit: Optional[float] = None,
         start_method: Optional[str] = None,
+        jobs: Optional[object] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._solver_time_limit = solver_time_limit
+        self._session_jobs = jobs
         self._context = (
             multiprocessing.get_context(start_method)
             if start_method
@@ -162,7 +174,7 @@ class PooledExecutor(BatchExecutor):
                 self._pool = self._context.Pool(
                     processes=self.workers,
                     initializer=_initialise_worker,
-                    initargs=(self._solver_time_limit,),
+                    initargs=(self._solver_time_limit, self._session_jobs),
                 )
             return self._pool
 
@@ -221,12 +233,20 @@ class PooledExecutor(BatchExecutor):
         return envelope
 
     def stats(self) -> Dict[str, object]:
-        """Pool-level counters: worker count, jobs dispatched, log length."""
+        """Pool-level counters: worker count, jobs dispatched, log length.
+
+        ``jobs`` is the per-worker intra-query parallelism budget (every
+        worker resolves the same setting), so the deployed topology is
+        ``workers × jobs``.
+        """
+        from repro.parallel import resolve_jobs
+
         with self._lock:
             log_length = len(self._mutation_log)
         return {
             "mode": "pool",
             "workers": self.workers,
+            "jobs": resolve_jobs(self._session_jobs),
             "start_method": self._context.get_start_method(),
             "jobs_dispatched": self._jobs,
             "mutations_logged": log_length,

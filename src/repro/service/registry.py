@@ -177,8 +177,12 @@ class DatasetRegistry:
         worker reports the same generation for the same spec.  Datasets
         reopened from a snapshot additionally carry a ``snapshot`` entry
         (path + on-disk format version) so ``/v1/datasets`` shows their
-        provenance.
+        provenance, and ``parallelism`` reports each handle's resolved
+        jobs/shards configuration so load tests can verify the deployed
+        topology.
         """
+        from repro.parallel import resolve_jobs
+
         with self._lock:
             entries = []
             for key, dataset in self._datasets.items():
@@ -188,6 +192,10 @@ class DatasetRegistry:
                     "generation": dataset.generation,
                     "table_built": dataset.stats["table_builds"] > 0
                     or dataset._table is not None,
+                    "parallelism": {
+                        "jobs": resolve_jobs(getattr(dataset, "jobs", None)),
+                        "shards": getattr(dataset, "shards", 1),
+                    },
                 }
                 provenance = dataset.snapshot_provenance
                 if provenance is not None:

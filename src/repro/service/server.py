@@ -58,9 +58,10 @@ class StructurednessService:
     """The transport-independent request handling behind the HTTP routes."""
 
     def __init__(self, executor: Optional[BatchExecutor] = None, workers: int = 1,
-                 solver_time_limit: Optional[float] = None):
+                 solver_time_limit: Optional[float] = None,
+                 jobs: Optional[object] = None):
         self.executor = executor if executor is not None else create_executor(
-            workers=workers, solver_time_limit=solver_time_limit
+            workers=workers, solver_time_limit=solver_time_limit, jobs=jobs
         )
         self._lock = threading.Lock()
         self.counters: Dict[str, int] = {
@@ -230,10 +231,16 @@ def make_server(
     solver_time_limit: Optional[float] = None,
     executor: Optional[BatchExecutor] = None,
     verbose: bool = False,
+    jobs: Optional[object] = None,
 ) -> ServiceServer:
-    """Bind a service server (``port=0`` picks an ephemeral free port)."""
+    """Bind a service server (``port=0`` picks an ephemeral free port).
+
+    ``jobs`` sets each session's (or pool worker's) intra-query
+    parallelism budget; ``/v1/stats`` reports the resolved value.
+    """
     service = StructurednessService(
-        executor=executor, workers=workers, solver_time_limit=solver_time_limit
+        executor=executor, workers=workers, solver_time_limit=solver_time_limit,
+        jobs=jobs,
     )
     return ServiceServer((host, port), service, verbose=verbose)
 
@@ -244,10 +251,12 @@ def serve(
     workers: int = 1,
     solver_time_limit: Optional[float] = None,
     verbose: bool = False,
+    jobs: Optional[object] = None,
 ) -> int:
     """Run the HTTP service until interrupted (the ``repro serve`` command)."""
     server = make_server(
-        host, port, workers=workers, solver_time_limit=solver_time_limit, verbose=verbose
+        host, port, workers=workers, solver_time_limit=solver_time_limit, verbose=verbose,
+        jobs=jobs,
     )
     print(f"repro service listening on {server.url}", flush=True)
     try:

@@ -40,7 +40,21 @@ from repro.ilp import (
     unregister_solver,
 )
 from repro.matrix.signatures import SignatureTable
+from repro.parallel import resolve_jobs
 from repro.rules import coverage as coverage_rule
+
+
+def assert_solver_call_count(actual: int, expected: int) -> None:
+    """Session solver calls vs the search's consumed probe count.
+
+    Speculative parallelism (``REPRO_JOBS > 1``) may solve probes the
+    serial state machine never consumes; those are honest solver calls the
+    session counts, so exact equality only holds in serial runs.
+    """
+    if resolve_jobs(None) > 1:
+        assert actual >= expected
+    else:
+        assert actual == expected
 
 NTRIPLES = """
 <http://ex/a> <http://ex/p> "1" .
@@ -146,7 +160,8 @@ class TestSessionCaching:
         session = Dataset.from_table(toy_persons_table).session()
         first = session.refine("Cov", k=2, step=0.05)
         solver_calls = session.stats["solver_calls"]
-        assert solver_calls == first.n_solver_probes > 0
+        assert first.n_solver_probes > 0
+        assert_solver_call_count(solver_calls, first.n_solver_probes)
         second = session.refine("Cov", k=2, step=0.05)
         assert second.cached and not first.cached
         assert second.theta == first.theta and second.k == first.k
@@ -162,7 +177,7 @@ class TestSessionCaching:
         assert all(entry.k <= requested for entry, requested in zip(sweep.entries, (2, 3)))
         assert sweep.entries[1].theta >= sweep.entries[0].theta - 1e-9
         solver_calls = session.stats["solver_calls"]
-        assert solver_calls == sum(e.n_solver_probes for e in sweep.entries)
+        assert_solver_call_count(solver_calls, sum(e.n_solver_probes for e in sweep.entries))
         again = session.sweep("Cov", k_values=(2, 3), step=0.1)
         assert all(entry.cached for entry in again.entries)
         assert session.stats["solver_calls"] == solver_calls
@@ -274,7 +289,7 @@ class TestThreadSafety:
         # the result cache without touching the solver.
         fresh = [result for result in results if not result.cached]
         assert len(fresh) == 1
-        assert session.stats["solver_calls"] == fresh[0].n_solver_probes
+        assert_solver_call_count(session.stats["solver_calls"], fresh[0].n_solver_probes)
         assert session.stats["result_cache_hits"] == 7
         assert session.stats["requests"] == 8
 

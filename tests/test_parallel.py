@@ -1,0 +1,227 @@
+"""Tests for :mod:`repro.parallel` and the determinism of every ``jobs`` knob.
+
+The parallel execution model's one non-negotiable contract (DESIGN.md,
+"Parallel execution model"): any result a caller can observe — counts,
+σ fractions, search payloads — is bit-identical whatever ``jobs`` is set
+to, because parallelism only reorders *work*, never *results*.  These
+tests pin that contract across ``jobs ∈ {1, 2, 8}``, including after
+dataset mutations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import Dataset
+from repro.core.search import highest_theta_refinement, lowest_k_refinement
+from repro.datasets.synthetic import graph_from_signature_table, random_signature_table
+from repro.exceptions import RequestError
+from repro.parallel import REPRO_JOBS_ENV, ParallelExecutor, resolve_jobs
+from repro.rdf.namespaces import EX
+from repro.rdf.terms import Literal
+from repro.rules import coverage, similarity
+from repro.rules.counting import rule_counts
+
+JOBS_GRID = (1, 2, 8)
+
+
+def search_payload(result) -> dict:
+    """The full observable projection of a search result (steps included)."""
+    return {
+        "k": result.k,
+        "theta": result.theta,
+        "n_probes": result.n_probes,
+        "n_solver_probes": result.n_solver_probes,
+        "steps": [(s.theta, s.k, s.feasible, s.status) for s in result.steps],
+    }
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(REPRO_JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_none_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "3")
+        assert resolve_jobs(None) == 3
+        monkeypatch.setenv(REPRO_JOBS_ENV, "  ")
+        assert resolve_jobs(None) == 1
+
+    def test_auto_and_zero_mean_cpu_count(self, monkeypatch):
+        cpus = max(1, os.cpu_count() or 1)
+        assert resolve_jobs(0) == cpus
+        assert resolve_jobs("auto") == cpus
+        monkeypatch.setenv(REPRO_JOBS_ENV, "auto")
+        assert resolve_jobs(None) == cpus
+
+    def test_explicit_values_pass_through(self):
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs("4") == 4
+
+    @pytest.mark.parametrize("bad", [-1, "nope", 1.5, True, False, "-2"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(RequestError):
+            resolve_jobs(bad)
+
+    def test_bad_environment_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "many")
+        with pytest.raises(RequestError):
+            resolve_jobs(None)
+
+
+class TestParallelExecutor:
+    def test_serial_executor_is_a_list_comprehension(self):
+        with ParallelExecutor(jobs=1) as executor:
+            assert not executor.parallel
+            assert executor.map(lambda x: x * 2, range(5)) == [0, 2, 4, 6, 8]
+            with pytest.raises(RequestError, match="jobs > 1"):
+                executor.submit(lambda: 1)
+        # jobs=1 never creates a pool.
+        assert executor._thread_pool is None and executor._process_pool is None
+
+    def test_parallel_map_preserves_input_order(self):
+        with ParallelExecutor(jobs=4) as executor:
+            assert executor.parallel
+            assert executor.map(lambda x: x * x, range(20)) == [x * x for x in range(20)]
+
+    def test_parallel_map_propagates_exceptions(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("item 3")
+            return x
+
+        with ParallelExecutor(jobs=4) as executor:
+            with pytest.raises(ValueError, match="item 3"):
+                executor.map(boom, range(6))
+
+    def test_submit_returns_future(self):
+        with ParallelExecutor(jobs=2) as executor:
+            future = executor.submit(lambda a, b: a + b, 2, 3)
+            assert future.result(timeout=10) == 5
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(RequestError):
+            ParallelExecutor(jobs=2, mode="fibers")
+
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(jobs=2)
+        executor.map(lambda x: x, range(4))
+        executor.close()
+        executor.close()
+
+    def test_describe(self):
+        assert ParallelExecutor(jobs=3).describe() == {"jobs": 3, "mode": "thread"}
+
+
+class TestCountingInvariance:
+    """Parallel chunked counting must equal the serial count exactly."""
+
+    @pytest.mark.parametrize("rule_factory", [coverage, similarity])
+    def test_counts_invariant_across_jobs(self, toy_persons_table, rule_factory):
+        rule = rule_factory()
+        serial = rule_counts(rule, toy_persons_table)
+        for jobs in JOBS_GRID:
+            with ParallelExecutor(jobs=jobs) as executor:
+                assert rule_counts(rule, toy_persons_table, executor=executor) == serial
+
+    def test_counts_on_a_larger_table(self):
+        table = random_signature_table(
+            n_properties=10, n_signatures=24, n_subjects=500, seed=11
+        )
+        for rule in (coverage(), similarity()):
+            serial = rule_counts(rule, table)
+            with ParallelExecutor(jobs=8) as executor:
+                assert rule_counts(rule, table, executor=executor) == serial
+
+
+class TestSearchInvariance:
+    """Speculative probes may only change wall-clock, never payloads."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return random_signature_table(
+            n_properties=8, n_signatures=14, n_subjects=200, seed=5
+        )
+
+    def test_lowest_k_bit_identical_across_jobs(self, table):
+        for direction in ("down", "up", "auto"):
+            payloads = [
+                search_payload(
+                    lowest_k_refinement(
+                        table, coverage(), theta=0.6, direction=direction, jobs=jobs
+                    )
+                )
+                for jobs in JOBS_GRID
+            ]
+            assert payloads[0] == payloads[1] == payloads[2], direction
+
+    def test_highest_theta_bit_identical_across_jobs(self, table):
+        payloads = [
+            search_payload(
+                highest_theta_refinement(table, coverage(), k=3, step=0.1, jobs=jobs)
+            )
+            for jobs in JOBS_GRID
+        ]
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_sessions_bit_identical_across_jobs_and_mutations(self):
+        reference_table = random_signature_table(
+            n_properties=6, n_signatures=10, n_subjects=80, seed=3
+        )
+        graph = graph_from_signature_table(reference_table, str(EX.Thing))
+        delta_add = [(EX.fresh_subject, reference_table.properties[0], Literal("x"))]
+
+        observations = []
+        for jobs in JOBS_GRID:
+            dataset = Dataset.from_graph(
+                type(graph)(list(graph), name="jobs test"), jobs=jobs
+            )
+            session = dataset.session()
+            assert session.jobs == jobs
+            before = search_payload(session.lowest_k("Cov", theta="3/5").search)
+            session.mutate(add=delta_add)
+            after = search_payload(session.lowest_k("Cov", theta="3/5").search)
+            observations.append((before, after))
+            session.close()
+        assert observations[0] == observations[1] == observations[2]
+
+
+class TestJobsResolutionChain:
+    """request.jobs > session jobs > dataset jobs > REPRO_JOBS > 1."""
+
+    def test_dataset_jobs_flow_into_sessions(self, toy_persons_table):
+        dataset = Dataset.from_table(toy_persons_table, jobs=2)
+        session = dataset.session()
+        assert session.jobs == 2
+        assert session.describe()["parallelism"] == {"jobs": 2, "shards": 1}
+        session.close()
+
+    def test_session_jobs_override_dataset(self, toy_persons_table):
+        dataset = Dataset.from_table(toy_persons_table, jobs=2)
+        session = dataset.session(jobs=3)
+        assert session.jobs == 3
+        session.close()
+
+    def test_environment_is_the_fallback(self, toy_persons_table, monkeypatch):
+        monkeypatch.setenv(REPRO_JOBS_ENV, "2")
+        session = Dataset.from_table(toy_persons_table).session()
+        assert session.jobs == 2
+        session.close()
+
+    def test_request_jobs_validated(self):
+        from repro.api import LowestKRequest, RefineRequest
+
+        assert RefineRequest(k=2, jobs=4).validated().jobs == 4
+        with pytest.raises(RequestError):
+            RefineRequest(k=2, jobs=0).validated()
+        with pytest.raises(RequestError):
+            LowestKRequest(jobs=-1).validated()
+
+    def test_service_stats_report_resolved_jobs(self):
+        from repro.service.executor import InlineExecutor
+
+        executor = InlineExecutor(jobs=2)
+        assert executor.stats()["jobs"] == 2
+        executor.close()
