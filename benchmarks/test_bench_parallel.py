@@ -50,10 +50,20 @@ def _timed_sweep(tables, rule, jobs):
     return [_sweep_payload(result) for result in results], elapsed
 
 
+#: Below this many CPUs the serial-vs-parallel wall-clock comparison is
+#: noise (thread scheduling overhead dominates and the measured "speedup"
+#: of a starved pool routinely lands under 1×), so the benchmark only
+#: *times* both paths on machines with at least this many cores.  The
+#: bit-identity assertion is the part that must hold everywhere.
+MIN_COMPARISON_CPUS = 4
+
+
 def test_bench_parallel_speedup(bench_artifact):
     """jobs=8 sweep must match jobs=1 bit-for-bit; ≥3× faster on 8+ cores."""
     tables = yago_sort_sample(n_sorts=25, seed=23, max_signatures=36, max_properties=18)[:12]
     rule = coverage()
+    cpus = os.cpu_count() or 1
+    gated = cpus < MIN_COMPARISON_CPUS
 
     serial_payloads, serial_time = _timed_sweep(tables, rule, jobs=1)
     parallel_payloads, parallel_time = _timed_sweep(tables, rule, jobs=8)
@@ -62,19 +72,33 @@ def test_bench_parallel_speedup(bench_artifact):
     # never the probe sequence, the chosen k or the recorded steps.
     assert parallel_payloads == serial_payloads
 
-    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
-    cpus = os.cpu_count() or 1
-    bench_artifact("parallel", {
+    payload = {
         "workload": "yago_sort_sample lowest-k sweep (theta=0.5, down, 12 sorts)",
         "cpus": cpus,
-        "serial_seconds": serial_time,
-        "parallel_seconds": parallel_time,
         "jobs": 8,
-        "speedup": speedup,
+        "gated": gated,
         "payloads_identical": True,
         "n_tables": len(tables),
         "total_solver_probes": sum(p["n_solver_probes"] for p in serial_payloads),
-    })
+    }
+    if gated:
+        # Too few cores for the timing comparison to mean anything: the
+        # artifact records that the measurement was skipped rather than a
+        # misleading sub-1× "speedup" from a starved thread pool.
+        bench_artifact("parallel", payload)
+        print(
+            f"\nparallel sweep: payload identity verified; timing comparison "
+            f"skipped on {cpus} CPUs (needs >={MIN_COMPARISON_CPUS})"
+        )
+        return
+
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    payload.update(
+        serial_seconds=serial_time,
+        parallel_seconds=parallel_time,
+        speedup=speedup,
+    )
+    bench_artifact("parallel", payload)
     print(
         f"\nparallel sweep: serial {serial_time:.2f}s, jobs=8 {parallel_time:.2f}s, "
         f"speedup {speedup:.2f}x on {cpus} CPUs"

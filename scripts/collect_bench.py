@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Merge benchmark artifacts into the committed trajectory files.
+
+Benchmarks drop single-run measurements as
+``benchmarks/artifacts/BENCH_<name>.json`` (gitignored, uploaded raw by
+CI).  This script folds each of them into a committed top-level
+``BENCH_<name>.json`` *trajectory*: a history of runs, each stamped with
+the commit and CI run that produced it, so benchmark numbers accrete in
+the repository instead of evaporating with the CI artifact retention
+window.  Identical consecutive payloads are not re-appended, so re-running
+the script (or re-running CI on the same numbers) is idempotent.
+
+Stamps come from the CI environment when present (``GITHUB_SHA``,
+``GITHUB_RUN_ID``) and fall back to ``git rev-parse HEAD`` locally; the
+timestamp is UTC.  Usage::
+
+    python scripts/collect_bench.py            # merge all artifacts
+    python scripts/collect_bench.py --dry-run  # report without writing
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT_DIR = REPO_ROOT / "benchmarks" / "artifacts"
+#: Trajectory files keep at most this many runs (oldest dropped first) so
+#: the committed files stay reviewable.
+MAX_HISTORY = 50
+
+
+def _commit_stamp() -> str:
+    """The commit under measurement: CI env first, local git as fallback."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _run_stamp() -> dict:
+    """One trajectory entry's provenance block."""
+    stamp = {
+        "commit": _commit_stamp(),
+        "recorded_utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+    }
+    run_id = os.environ.get("GITHUB_RUN_ID")
+    if run_id:
+        stamp["ci_run"] = run_id
+    return stamp
+
+
+def merge_artifact(artifact: pathlib.Path, output_dir: pathlib.Path, dry_run: bool) -> str:
+    """Fold one ``BENCH_<name>.json`` artifact into its trajectory file.
+
+    Returns a one-line human-readable description of what happened
+    (``appended``, ``unchanged`` or ``created``).
+    """
+    payload = json.loads(artifact.read_text())
+    target = output_dir / artifact.name
+    if target.exists():
+        trajectory = json.loads(target.read_text())
+        history = trajectory.get("history", [])
+        verb = "appended"
+    else:
+        history = []
+        verb = "created"
+    if history and history[-1].get("payload") == payload:
+        return f"{target.name}: unchanged (latest entry already matches)"
+    history.append(dict(_run_stamp(), payload=payload))
+    history = history[-MAX_HISTORY:]
+    trajectory = {"benchmark": artifact.stem.replace("BENCH_", "", 1), "history": history}
+    if not dry_run:
+        target.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return f"{target.name}: {verb} run #{len(history)}"
+
+
+def main(argv=None) -> int:
+    """Merge every artifact; exit 0 even when there is nothing to merge."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", type=pathlib.Path, default=ARTIFACT_DIR,
+        help="directory holding BENCH_<name>.json artifacts",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=REPO_ROOT,
+        help="directory holding the committed trajectory files",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true", help="report actions without writing"
+    )
+    args = parser.parse_args(argv)
+    artifacts = sorted(args.artifacts.glob("BENCH_*.json")) if args.artifacts.is_dir() else []
+    if not artifacts:
+        print(f"collect_bench: no artifacts under {args.artifacts}")
+        return 0
+    for artifact in artifacts:
+        print("collect_bench:", merge_artifact(artifact, args.output, args.dry_run))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,13 @@ runs this as its service job; locally::
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import re
 import subprocess
 import sys
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -45,6 +47,64 @@ def call(base, path, body=None, expect=200):
     if status != expect:
         raise SystemExit(f"FAIL {path}: expected HTTP {expect}, got {status}: {payload}")
     return payload
+
+
+#: The watch round needs a *graph-backed* dataset (mutations patch the RDF
+#: graph; the built-in generators materialise signature tables directly).
+WATCH_DATASET = {
+    "name": "watch-smoke",
+    "ntriples": (
+        '<http://smoke/a> <http://smoke/p> "1" .\n'
+        '<http://smoke/a> <http://smoke/q> "1" .\n'
+        '<http://smoke/b> <http://smoke/p> "1" .\n'
+    ),
+}
+
+
+def run_watch_round(base) -> str:
+    """One live watch round: stream ``/v1/watch`` while mutating the dataset.
+
+    Opens the JSONL stream, fires a mutation from a sibling connection half
+    a second in, and returns the σ of the post-mutation sigma event.  Fails
+    if the stream never reports the mutated generation or any event line is
+    missing its request id.
+    """
+    host = base.split("//", 1)[1].rstrip("/")
+    mutate_failure = []
+
+    def mutate() -> None:
+        time.sleep(0.5)
+        try:
+            payload = call(base, "/v1/mutate", {
+                "dataset": WATCH_DATASET,
+                "add": [["http://smoke/c", "http://smoke/p", "\"1\""]],
+            })
+            if not payload.get("ok"):
+                mutate_failure.append(f"mutate envelope not ok: {payload}")
+        except SystemExit as error:  # call() failures must reach the main thread
+            mutate_failure.append(str(error))
+
+    thread = threading.Thread(target=mutate, daemon=True)
+    thread.start()
+    connection = http.client.HTTPConnection(host, timeout=60)
+    connection.request("POST", "/v1/watch", body=json.dumps({
+        "dataset": WATCH_DATASET, "rules": ["Cov"], "max_events": 2, "duration_s": 30.0,
+    }), headers={"Content-Type": "application/json"})
+    response = connection.getresponse()
+    if response.status != 200:
+        raise SystemExit(f"FAIL /v1/watch: HTTP {response.status}: {response.read()!r}")
+    events = [json.loads(line) for line in response.read().decode().splitlines() if line.strip()]
+    connection.close()
+    thread.join(timeout=30)
+    if mutate_failure:
+        raise SystemExit(f"FAIL /v1/mutate during watch: {mutate_failure[0]}")
+    for event in events:
+        if "request_id" not in event:
+            raise SystemExit(f"FAIL /v1/watch: event missing request_id: {event}")
+    mutated = [e for e in events if e.get("kind") == "sigma" and e.get("generation", 0) >= 1]
+    if not mutated:
+        raise SystemExit(f"FAIL /v1/watch: no post-mutation sigma event in {events}")
+    return mutated[-1]["sigma"]
 
 
 def main() -> int:
@@ -119,6 +179,38 @@ def main() -> int:
         datasets = call(base, "/v1/datasets")
         if "dbpedia-persons" not in datasets.get("builtin", []):
             raise SystemExit(f"FAIL /v1/datasets: {datasets}")
+
+        # Every envelope must carry the request id and server timing at its
+        # top level (the deterministic ``result`` payloads stay untouched).
+        for key in ("request_id", "server_time_ms"):
+            if key not in stats:
+                raise SystemExit(f"FAIL /v1/stats: envelope missing {key!r}: {stats}")
+
+        # The telemetry spine: /v1/metrics must report the traffic this
+        # smoke run generated, including the 400 from the bad theta above.
+        metrics = call(base, "/v1/metrics")
+        for section in ("server", "service", "process"):
+            if section not in metrics:
+                raise SystemExit(f"FAIL /v1/metrics: missing section {section!r}: {metrics}")
+        counters = metrics["service"].get("counters", {})
+        if not counters.get("http.status.2xx"):
+            raise SystemExit(f"FAIL /v1/metrics: no 2xx traffic counted: {counters}")
+        if not counters.get("http.status.4xx"):
+            raise SystemExit(f"FAIL /v1/metrics: the bad-theta 400 was not counted: {counters}")
+
+        # One live watch round: stream /v1/watch, mutate the dataset from a
+        # sibling connection, and check the streamed σ against a fresh
+        # evaluate of the mutated dataset — the differential guarantee,
+        # end to end over HTTP.
+        watch_sigma = run_watch_round(base)
+        fresh = call(base, "/v1/evaluate", {
+            "dataset": WATCH_DATASET, "request": {"rule": "Cov", "exact": True},
+        })
+        if watch_sigma != fresh["result"]["exact"]:
+            raise SystemExit(
+                "FAIL /v1/watch: streamed sigma drifted from a fresh evaluate\n"
+                f"  watch: {watch_sigma}\n  fresh: {fresh['result']['exact']}"
+            )
 
         print("service smoke OK:", json.dumps(stats["server"], sort_keys=True))
         return 0

@@ -66,15 +66,18 @@ from repro.exceptions import (
     SnapshotError,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Top-level conveniences resolved lazily so that ``import repro`` stays
 #: lightweight (the api package pulls in numpy/scipy-backed layers).
 _LAZY_EXPORTS = {
     "Dataset": "repro.api",
     "StructurednessSession": "repro.api",
+    "WatchSession": "repro.api",
+    "WatchEvent": "repro.api",
     "InlineExecutor": "repro.service",
     "PooledExecutor": "repro.service",
+    "Telemetry": "repro.telemetry",
 }
 
 __all__ = [
@@ -92,8 +95,11 @@ __all__ = [
     "SnapshotError",
     "Dataset",
     "StructurednessSession",
+    "WatchSession",
+    "WatchEvent",
     "InlineExecutor",
     "PooledExecutor",
+    "Telemetry",
 ]
 
 

@@ -44,10 +44,13 @@ from repro.api.results import (
     SweepResult,
 )
 from repro.api.session import StructurednessSession, named_rules, resolve_rule
+from repro.api.watch import WatchEvent, WatchSession
 
 __all__ = [
     "Dataset",
     "StructurednessSession",
+    "WatchSession",
+    "WatchEvent",
     "builtin_dataset_names",
     "register_builtin_dataset",
     "named_rules",

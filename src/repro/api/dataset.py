@@ -29,6 +29,7 @@ from repro.matrix.sharded import ShardedSignatureTable
 from repro.matrix.signatures import SignatureTable
 from repro.rdf.graph import RDFGraph
 from repro.rdf.ntriples import load_ntriples, parse_ntriples
+from repro.telemetry import Telemetry, current as current_telemetry
 
 __all__ = [
     "Dataset",
@@ -87,6 +88,7 @@ class Dataset:
         artifact_factory: Optional[Callable[[], object]] = None,
         jobs: Optional[object] = None,
         shards: int = 1,
+        telemetry: Optional[Telemetry] = None,
     ):
         if (
             graph is None
@@ -108,6 +110,12 @@ class Dataset:
         self.jobs = jobs
         #: How many shards :meth:`sharded_table` folds the signatures into.
         self.shards = shards
+        #: Telemetry spine the handle's builds/patches record into.  ``None``
+        #: defers to the process-wide :func:`repro.telemetry.current` (a
+        #: no-op unless ``REPRO_TRACE`` is set); pass an enabled
+        #: :class:`~repro.telemetry.Telemetry` to scope collection to this
+        #: handle.  A plain attribute — adjust after construction if needed.
+        self.telemetry = telemetry
         self._sharded: Optional[ShardedSignatureTable] = None
         self._graph_factory = graph_factory
         # A deferred generator producing either a SignatureTable or an
@@ -143,12 +151,17 @@ class Dataset:
         # stages call each other (table → matrix → graph).
         self._lock = threading.RLock()
 
+    def _tel(self) -> Telemetry:
+        """The spine this handle records into (its own, or the process-wide one)."""
+        return self.telemetry if self.telemetry is not None else current_telemetry()
+
     def _realise_artifact(self) -> None:
         """Run the deferred artifact factory (once) and slot its product in."""
         if self._artifact_factory is None:
             return
         factory, self._artifact_factory = self._artifact_factory, None
-        artifact = factory()
+        with self._tel().span("dataset.artifact_build"):
+            artifact = factory()
         if isinstance(artifact, SignatureTable):
             self._table = artifact
             self.stats["table_builds"] += 1
@@ -171,25 +184,31 @@ class Dataset:
     def from_ntriples(
         cls, path: object, name: str = "", sort: Optional[object] = None,
         jobs: Optional[object] = None, shards: int = 1,
+        telemetry: Optional[Telemetry] = None,
     ) -> "Dataset":
         """A dataset read lazily from an N-Triples file.
 
         ``sort`` optionally restricts the graph to the subjects declared of
-        that ``rdf:type`` (like the CLI's ``--sort``).  ``jobs`` and
-        ``shards`` set the handle's parallelism defaults (see
-        :attr:`jobs` / :attr:`shards`); every constructor accepts them.
+        that ``rdf:type`` (like the CLI's ``--sort``).  ``jobs``,
+        ``shards`` and ``telemetry`` set the handle's plain attributes
+        (see :attr:`jobs` / :attr:`shards` / :attr:`telemetry`); every
+        graph-shaped constructor accepts them.
         """
 
         def build() -> RDFGraph:
             graph = load_ntriples(path, name=name or str(path))
             return graph.sort_subgraph(sort) if sort else graph
 
-        return cls(name=name or str(path), graph_factory=build, jobs=jobs, shards=shards)
+        return cls(
+            name=name or str(path), graph_factory=build, jobs=jobs,
+            shards=shards, telemetry=telemetry,
+        )
 
     @classmethod
     def from_ntriples_text(
         cls, text: str, name: str = "", sort: Optional[object] = None,
         jobs: Optional[object] = None, shards: int = 1,
+        telemetry: Optional[Telemetry] = None,
     ) -> "Dataset":
         """A dataset parsed lazily from N-Triples source text."""
 
@@ -197,7 +216,10 @@ class Dataset:
             graph = parse_ntriples(text, name=name)
             return graph.sort_subgraph(sort) if sort else graph
 
-        return cls(name=name, graph_factory=build, jobs=jobs, shards=shards)
+        return cls(
+            name=name, graph_factory=build, jobs=jobs, shards=shards,
+            telemetry=telemetry,
+        )
 
     @classmethod
     def builtin(cls, name: str, **params) -> "Dataset":
@@ -220,6 +242,7 @@ class Dataset:
     def from_graph(
         cls, graph: RDFGraph, name: str = "", sort: Optional[object] = None,
         jobs: Optional[object] = None, shards: int = 1,
+        telemetry: Optional[Telemetry] = None,
     ) -> "Dataset":
         """Wrap an existing :class:`RDFGraph` (optionally one rdf:type sort of it).
 
@@ -238,8 +261,14 @@ class Dataset:
             snapshot = RDFGraph(
                 list(graph.sort_subgraph(sort)), name=name or graph.name
             )
-            return cls(name=snapshot.name, graph=snapshot, jobs=jobs, shards=shards)
-        return cls(name=name or graph.name, graph=graph, jobs=jobs, shards=shards)
+            return cls(
+                name=snapshot.name, graph=snapshot, jobs=jobs, shards=shards,
+                telemetry=telemetry,
+            )
+        return cls(
+            name=name or graph.name, graph=graph, jobs=jobs, shards=shards,
+            telemetry=telemetry,
+        )
 
     @classmethod
     def from_matrix(
@@ -271,7 +300,8 @@ class Dataset:
         """
         from repro.storage.snapshots import open_snapshot
 
-        snapshot = open_snapshot(path, mmap=mmap, verify=verify)
+        with current_telemetry().span("dataset.snapshot_load"):
+            snapshot = open_snapshot(path, mmap=mmap, verify=verify)
         matrix = snapshot.load_matrix() if snapshot.has_stage("matrix") else None
         table = snapshot.load_table() if snapshot.has_stage("table") else None
         graph_factory = snapshot.load_graph if snapshot.has_stage("graph") else None
@@ -328,13 +358,14 @@ class Dataset:
             encoded = encode_chain(graph=graph, matrix=matrix, table=table)
             snapshot_name = name or self._name
             generation = self._generation
-        return write_encoded_snapshot(
-            path,
-            encoded,
-            name=snapshot_name,
-            generation=generation,
-            overwrite=overwrite,
-        )
+        with self._tel().span("dataset.snapshot_save"):
+            return write_encoded_snapshot(
+                path,
+                encoded,
+                name=snapshot_name,
+                generation=generation,
+                overwrite=overwrite,
+            )
 
     @property
     def snapshot_provenance(self) -> Optional[Dict[str, object]]:
@@ -373,7 +404,8 @@ class Dataset:
                         f"dataset {self._name!r} was constructed without an RDF graph; "
                         "only its matrix/signature-table views are available"
                     )
-                self._graph = self._graph_factory()
+                with self._tel().span("dataset.graph_build"):
+                    self._graph = self._graph_factory()
                 self.stats["graph_builds"] += 1
             return self._graph
 
@@ -389,7 +421,9 @@ class Dataset:
                         f"dataset {self._name!r} was constructed from a signature table; "
                         "the per-subject property matrix is not available"
                     )
-                self._matrix = PropertyMatrix.from_graph(self.graph)
+                graph = self.graph
+                with self._tel().span("dataset.matrix_build"):
+                    self._matrix = PropertyMatrix.from_graph(graph)
                 self.stats["matrix_builds"] += 1
             return self._matrix
 
@@ -400,10 +434,9 @@ class Dataset:
             if self._table is None:
                 self._realise_artifact()
             if self._table is None:
-                if self._matrix is not None:
-                    self._table = SignatureTable.from_matrix(self._matrix)
-                else:
-                    self._table = SignatureTable.from_matrix(self.matrix)
+                matrix = self._matrix if self._matrix is not None else self.matrix
+                with self._tel().span("dataset.table_build"):
+                    self._table = SignatureTable.from_matrix(matrix)
                 self.stats["table_builds"] += 1
             return self._table
 
@@ -485,7 +518,8 @@ class Dataset:
                 f"mutate needs a MutationRequest or add=/remove= keywords, "
                 f"got {request!r}"
             )
-        with self._lock:
+        with self._lock, self._tel().span("dataset.mutate"):
+            telemetry = self._tel()
             graph = self.graph  # DatasetError for matrix/table-born datasets
             # validated() fully coerced every term up front, so applying
             # the delta cannot fail half-way and the mutation is atomic.
@@ -496,11 +530,13 @@ class Dataset:
                 try:
                     matrix_patched = table_patched = False
                     if self._matrix is not None:
-                        self._matrix = self._matrix.apply_delta(graph, delta)
+                        with telemetry.span("dataset.matrix_patch"):
+                            self._matrix = self._matrix.apply_delta(graph, delta)
                         matrix_patched = True
                     if self._table is not None:
                         if self._matrix is not None and self._table.has_members:
-                            self._table = self._table.apply_delta(self._matrix, delta)
+                            with telemetry.span("dataset.table_patch"):
+                                self._table = self._table.apply_delta(self._matrix, delta)
                             table_patched = True
                         else:
                             # No per-subject provenance to patch from: drop
@@ -510,9 +546,10 @@ class Dataset:
                         if table_patched:
                             # Incremental re-shard: only the shards whose
                             # signatures the delta touched are rebuilt.
-                            self._sharded = self._sharded.refreshed(
-                                self._table, subjects=delta.subjects
-                            )
+                            with telemetry.span("dataset.shard_refresh"):
+                                self._sharded = self._sharded.refreshed(
+                                    self._table, subjects=delta.subjects
+                                )
                         else:
                             self._sharded = None
                     # Counted only once the whole chain patched: a patch
@@ -531,6 +568,7 @@ class Dataset:
                     self._table = None
                     self._sharded = None
                     self.stats["patch_failures"] += 1
+                    telemetry.incr("dataset.patch_failures")
             return MutationResult(
                 dataset=self._name,
                 generation=self._generation,

@@ -59,6 +59,7 @@ from repro.rdf.terms import coerce_uri
 from repro.rules import library
 from repro.rules.ast import Rule
 from repro.rules.parser import parse_rule
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["StructurednessSession", "resolve_rule", "named_rules"]
 
@@ -109,7 +110,8 @@ class _CountingSolver:
     def solve(self, model):
         with self._lock:
             self._stats["solver_calls"] += 1
-        return self._inner.solve(model)
+        with current_telemetry().span("ilp.solve"):
+            return self._inner.solve(model)
 
 
 class StructurednessSession:

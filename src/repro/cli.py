@@ -40,6 +40,11 @@ Start the HTTP service (``--port 0`` picks an ephemeral port)::
 
     repro serve --port 8080 --workers 4
 
+Watch structuredness live while replaying a JSONL mutation stream (see
+docs/observability.md)::
+
+    repro watch data.nt --rule Cov --theta 3/4 --replay mutations.jsonl
+
 Persist a dataset's artifact chain and inspect the result (see
 docs/snapshots.md)::
 
@@ -148,6 +153,30 @@ def build_parser() -> argparse.ArgumentParser:
         "'auto'; default: the REPRO_JOBS env var, else 1)",
     )
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+
+    watch = subparsers.add_parser(
+        "watch", help="watch structuredness live while replaying a mutation stream"
+    )
+    watch.add_argument("path", help="path to an N-Triples file")
+    watch.add_argument("--sort", help="restrict to subjects declared of this rdf:type")
+    watch.add_argument(
+        "--rule",
+        action="append",
+        help="a rule name or concrete-syntax text to watch (repeatable; default Cov)",
+    )
+    watch.add_argument(
+        "--theta", help="also track the lowest-k refinement at this threshold (e.g. 3/4)"
+    )
+    watch.add_argument(
+        "--shards", type=int, default=None, help="signature-table shard count (default 16)"
+    )
+    watch.add_argument(
+        "--replay",
+        default="-",
+        help="JSONL mutation stream ({\"add\": [[s,p,o],...], \"remove\": [...]} per line); "
+        "'-' reads stdin (default)",
+    )
+    watch.add_argument("--json", action="store_true", help="emit events as JSONL")
 
     snapshot = subparsers.add_parser(
         "snapshot", help="persist and inspect binary dataset snapshots"
@@ -399,6 +428,76 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _render_watch_event(event) -> str:
+    """One human-readable dashboard line per :class:`WatchEvent`."""
+    if event.kind == "drift":
+        return (
+            f"gen {event.generation:>4}  {event.rule}: lowest-k drift "
+            f"{event.previous_k} -> {event.k} at theta={event.theta} "
+            f"(covered sorts: {event.covered_sorts}/{len(event.sort_sigmas)})"
+        )
+    if event.kind == "heartbeat":
+        return f"gen {event.generation:>4}  (idle)"
+    reuse = f"shards {event.shards_recounted} recounted / {event.shards_reused} reused"
+    if event.full_recount:
+        reuse = "full recount"
+    marker = "*" if event.changed else " "
+    return (
+        f"gen {event.generation:>4} {marker}{event.rule}: sigma={event.sigma} "
+        f"({event.value:.4f})  [{reuse}]"
+    )
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api.watch import WatchSession
+
+    dataset = Dataset.from_ntriples(args.path, sort=args.sort)
+    theta = _parse_theta_arg(args.theta) if args.theta else None
+    try:
+        watch = WatchSession(
+            dataset, tuple(args.rule or ("Cov",)), theta=theta, shards=args.shards
+        )
+    except RequestError as error:
+        raise SystemExit(f"watch: {error}")
+
+    def emit(event) -> None:
+        if args.json:
+            print(json.dumps(event.to_dict(), sort_keys=True), flush=True)
+        else:
+            print(_render_watch_event(event), flush=True)
+
+    watch.subscribe(emit)
+    watch.poll()  # baseline observation before any mutation is replayed
+    stream = sys.stdin if args.replay == "-" else open(args.replay, "r", encoding="utf-8")
+    try:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                entry = json.loads(line)
+                dataset.mutate(add=entry.get("add", ()), remove=entry.get("remove", ()))
+            except (ValueError, RequestError) as error:
+                print(f"watch: replay line {line_no}: {error}", file=sys.stderr)
+                return 1
+            watch.poll()
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+        watch.close()
+    if not args.json:
+        stats = watch.stats
+        print(
+            f"-- {stats['observations']} observations, {stats['events']} events, "
+            f"{stats['alerts']} drift alerts; shards {stats['shard_recounts']} recounted "
+            f"/ {stats['shard_reuses']} reused",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
@@ -413,6 +512,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_batch(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "watch":
+        return _command_watch(args)
     if args.command == "snapshot":
         return _command_snapshot(args, parser)
     parser.print_help()

@@ -51,6 +51,7 @@ from repro.rdf.terms import URI
 from repro.rules.ast import Rule
 from repro.rules.counting import enumerate_rough_assignments
 from repro.core.refinement import SortRefinement, refinement_from_assignment
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["EncodedInstance", "SortRefinementEncoder", "to_fraction"]
 
@@ -368,6 +369,7 @@ class SortRefinementEncoder:
             model.add_constraint(Constraint(LinExpr({anchor: 1.0}), lower=1, upper=1))
 
         encode_time = time.perf_counter() - started
+        current_telemetry().observe("encoder.encode", encode_time)
         return EncodedInstance(
             model=model,
             table=table,
@@ -498,6 +500,7 @@ class SortRefinementEncoder:
             (i, key): state.blocks[i].t[key] for i in range(k) for key in state.cases
         }
         encode_time = time.perf_counter() - started
+        current_telemetry().observe("encoder.encode_incremental", encode_time)
         return EncodedInstance(
             model=model,
             table=table,

@@ -33,6 +33,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.exceptions import RequestError
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["REPRO_JOBS_ENV", "resolve_jobs", "ParallelExecutor"]
 
@@ -146,9 +147,11 @@ class ParallelExecutor:
         """
         items = list(items)
         if self._jobs <= 1 or len(items) <= 1:
+            current_telemetry().incr("parallel.map.serial")
             return [fn(item) for item in items]
         pool = self._pool(mode or self._mode)
-        return list(pool.map(fn, items))
+        with current_telemetry().span("parallel.map"):
+            return list(pool.map(fn, items))
 
     def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)`` on the thread pool; returns a Future.
@@ -161,6 +164,7 @@ class ParallelExecutor:
         """
         if self._jobs <= 1:
             raise RequestError("submit() requires a parallel executor (jobs > 1)")
+        current_telemetry().incr("parallel.submit")
         return self._pool("thread").submit(fn, *args, **kwargs)
 
     def describe(self) -> Dict[str, object]:

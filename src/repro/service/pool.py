@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.service.executor import BatchExecutor, BatchGroup, InlineExecutor
 from repro.service.wire import ServiceRequest
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["PooledExecutor"]
 
@@ -193,9 +194,12 @@ class PooledExecutor(BatchExecutor):
         pool = self._ensure_pool()
         with self._lock:
             self._jobs += len(payloads)
+        telemetry = current_telemetry()
+        telemetry.incr("pool.round_trips", len(payloads))
         # chunksize=1 spreads groups across workers instead of batching
         # them onto a few; a group is already a coarse unit of work.
-        return pool.map(_run_group, payloads, chunksize=1)
+        with telemetry.span("pool.map"):
+            return pool.map(_run_group, payloads, chunksize=1)
 
     def _execute_mutation(self, request: ServiceRequest) -> Dict[str, object]:
         """Run a mutation on one worker and append it to the shared log.
@@ -221,7 +225,10 @@ class PooledExecutor(BatchExecutor):
                 "requests": [request.to_dict()],
                 "applied_seq": seq,
             }
-            [envelope] = pool.apply(_run_group, (payload,))
+            telemetry = current_telemetry()
+            telemetry.incr("pool.round_trips")
+            with telemetry.span("pool.mutation"):
+                [envelope] = pool.apply(_run_group, (payload,))
             result = envelope.get("result") or {}
             # Only graph-changing mutations enter the log: a no-op (added
             # == removed == 0) leaves every copy's generation unchanged,

@@ -26,7 +26,25 @@ Routes (all payloads JSON):
   solver backend and cache-hit/solver-call counts; in pooled mode the
   per-session detail lives in the workers and the stats report the
   pool-level view (worker count, jobs dispatched).
+* ``GET /v1/metrics`` — a deterministic JSON snapshot of the
+  observability spine: the service's always-on telemetry (HTTP status
+  counters, watch-stream counters) plus the process-wide
+  :func:`repro.telemetry.current` spine (dataset builds/patches, solver
+  spans, ... — populated when ``REPRO_TRACE`` is set).
+* ``POST /v1/watch`` — a streaming JSONL watch over one dataset (inline
+  servers only): ``{"dataset": ..., "rules": ["Cov"], "theta": "3/4",
+  "max_events": 3, "duration_s": 10}``.  The response streams one JSON
+  object per :class:`~repro.api.watch.WatchEvent` as mutations land
+  (plus ``heartbeat`` lines while idle) until ``max_events`` events were
+  sent or ``duration_s`` elapsed; the connection closes to mark the end
+  of the stream.
 * ``GET /healthz`` — liveness probe.
+
+Every response envelope carries a per-request ``request_id`` (also the
+``X-Request-Id`` header) and ``server_time_ms``; both live at the
+envelope's top level, so the deterministic ``result`` payloads stay
+bit-identical across transports.  4xx/5xx responses are counted in the
+service telemetry even when the access log is quiet (``--verbose`` off).
 
 Malformed requests (unknown op/rule/dataset/solver, out-of-range θ or k)
 map to structured ``400`` bodies via :func:`repro.service.wire.error_result`
@@ -40,6 +58,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -47,11 +66,14 @@ from repro import __version__
 from repro.api.dataset import builtin_dataset_names
 from repro.exceptions import ReproError, RequestError
 from repro.service.executor import BatchExecutor, create_executor
+from repro.service.registry import DatasetSpec
 from repro.service.wire import OPS, error_result, parse_request
+from repro.telemetry import Telemetry, current as current_telemetry
 
 __all__ = ["StructurednessService", "ServiceServer", "make_server", "serve"]
 
 _JSON = "application/json"
+_NDJSON = "application/x-ndjson"
 
 
 class StructurednessService:
@@ -69,11 +91,23 @@ class StructurednessService:
             "ok_responses": 0,
             "error_responses": 0,
         }
+        #: Always-on service telemetry (independent of ``REPRO_TRACE``):
+        #: HTTP status-class counters, access-log lines and watch-stream
+        #: counters land here so 4xx/5xx are observable even when the
+        #: access log is quiet.  Served by ``GET /v1/metrics``.
+        self.telemetry = Telemetry(enabled=True)
+        self._request_seq = 0
 
     def _count(self, ok: bool) -> None:
         with self._lock:
             self.counters["http_requests"] += 1
             self.counters["ok_responses" if ok else "error_responses"] += 1
+
+    def next_request_id(self) -> str:
+        """A fresh, monotonically increasing per-server request id."""
+        with self._lock:
+            self._request_seq += 1
+            return f"req-{self._request_seq:08d}"
 
     # ------------------------------------------------------------------ #
     # Route handlers: each returns (http_status, payload dict)
@@ -128,6 +162,80 @@ class StructurednessService:
             server_counters = dict(self.counters)
         return 200, {"server": server_counters, "executor": self.executor.stats()}
 
+    def handle_metrics(self) -> Tuple[int, Dict[str, object]]:
+        """``GET /v1/metrics``: the observability spine as deterministic JSON.
+
+        ``server`` holds the legacy request counters, ``service`` the
+        always-on service telemetry snapshot and ``process`` the
+        process-wide :func:`repro.telemetry.current` spine (disabled and
+        empty unless ``REPRO_TRACE`` is set or a library caller enabled
+        it).  Key order is stable and sorted; only the recorded wall-clock
+        values vary between runs.
+        """
+        with self._lock:
+            server_counters = dict(self.counters)
+        return 200, {
+            "server": server_counters,
+            "service": self.telemetry.snapshot(),
+            "process": current_telemetry().snapshot(),
+        }
+
+    def watch_session(self, body: object):
+        """Build the watch behind ``POST /v1/watch``: ``(WatchSession, params)``.
+
+        Validates the body and resolves the dataset through the inline
+        executor's registry — the same handles ``/v1/mutate`` patches, so
+        streamed events reflect mutations sent over sibling connections.
+        Raises :class:`~repro.exceptions.RequestError` on a pooled
+        executor (the datasets live inside worker processes where no
+        streaming thread can observe them) and for malformed bodies.
+        """
+        from repro.api.watch import WatchSession
+
+        registry = getattr(self.executor, "registry", None)
+        if registry is None:
+            raise RequestError(
+                "watch requires an inline server (workers=1); with a worker pool "
+                "the datasets live inside the pool processes"
+            )
+        if not isinstance(body, dict):
+            raise RequestError("the watch body must be a JSON object")
+        if "dataset" not in body:
+            raise RequestError("a watch body needs a 'dataset' spec")
+        known = {
+            "dataset", "rules", "theta", "shards",
+            "max_events", "duration_s", "poll_interval_s", "heartbeat_s",
+        }
+        unknown = set(body) - known
+        if unknown:
+            raise RequestError(f"unknown watch fields {sorted(unknown)}")
+        rules = body["rules"] if body.get("rules") is not None else ["Cov"]
+        if not isinstance(rules, (list, tuple)) or not rules:
+            raise RequestError("rules must be a non-empty list of rule specs")
+
+        def _timing(field: str, default: float) -> float:
+            # Explicit zeros must reach the positivity check below — an
+            # ``or default`` would silently turn them into the default.
+            value = body.get(field)
+            return default if value is None else float(value)
+
+        try:
+            params = {
+                "max_events": int(_timing("max_events", 0)),
+                "duration_s": _timing("duration_s", 10.0),
+                "poll_interval_s": _timing("poll_interval_s", 0.05),
+                "heartbeat_s": _timing("heartbeat_s", 2.0),
+            }
+        except (TypeError, ValueError) as error:
+            raise RequestError(f"invalid watch timing field: {error}") from None
+        if params["duration_s"] <= 0 or params["poll_interval_s"] <= 0 or params["heartbeat_s"] <= 0:
+            raise RequestError("watch durations and intervals must be positive")
+        dataset = registry.get(DatasetSpec.from_dict(body["dataset"]))
+        watch = WatchSession(
+            dataset, tuple(rules), theta=body.get("theta"), shards=body.get("shards")
+        )
+        return watch, params
+
     def close(self) -> None:
         """Shut the underlying executor down."""
         self.executor.close()
@@ -142,37 +250,62 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> StructurednessService:
         return self.server.service  # type: ignore[attr-defined]
 
+    def _begin_request(self) -> None:
+        """Stamp the request with its id and start time (once per request)."""
+        self._request_id = self.service.next_request_id()
+        self._started = time.perf_counter()
+
     def log_message(self, format: str, *args) -> None:
+        # The access log is *always* routed through the service telemetry
+        # (so quiet servers still count their traffic); printing to stderr
+        # stays opt-in via --verbose.  Request ids make lines greppable
+        # against the envelopes clients saw.
+        self.service.telemetry.incr("http.access_log_lines")
         if getattr(self.server, "verbose", False):  # pragma: no cover
-            super().log_message(format, *args)
+            request_id = getattr(self, "_request_id", "-")
+            super().log_message(f"[{request_id}] {format}", *args)
 
     def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        request_id = getattr(self, "_request_id", None) or self.service.next_request_id()
+        started = getattr(self, "_started", None)
+        elapsed_ms = (
+            round((time.perf_counter() - started) * 1000.0, 3) if started is not None else 0.0
+        )
+        payload = dict(payload, request_id=request_id, server_time_ms=elapsed_ms)
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", _JSON)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
         self.service._count(200 <= status < 400)
+        # 4xx/5xx are counted here unconditionally — the satellite fix for
+        # the access log being dropped unless --verbose.
+        self.service.telemetry.incr(f"http.status.{status // 100}xx")
 
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length) if length else b""
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._begin_request()
         if self.path == "/v1/datasets":
             self._respond(*self.service.handle_datasets())
         elif self.path == "/v1/stats":
             self._respond(*self.service.handle_stats())
+        elif self.path == "/v1/metrics":
+            self._respond(*self.service.handle_metrics())
         elif self.path == "/healthz":
             self._respond(200, {"ok": True})
         else:
             self._respond(404, {"ok": False, "error": {"type": "NotFound", "message": self.path}})
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._begin_request()
         raw = self._read_body()
         content_type = (self.headers.get("Content-Type") or _JSON).split(";")[0].strip()
-        ndjson = content_type in ("application/x-ndjson", "application/jsonl", "text/plain")
+        ndjson = content_type in (_NDJSON, "application/jsonl", "text/plain")
         try:
             if not self.path.startswith("/v1/"):
                 self._respond(
@@ -183,6 +316,9 @@ class _Handler(BaseHTTPRequestHandler):
             if route == "batch":
                 body = raw.decode("utf-8") if ndjson else json.loads(raw or b"{}")
                 self._respond(*self.service.handle_batch(body, ndjson=ndjson))
+            elif route == "watch":
+                body = json.loads(raw or b"{}")
+                self._stream_watch(body)
             elif route in OPS:
                 body = json.loads(raw or b"{}")
                 if not isinstance(body, dict):
@@ -198,6 +334,55 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(400, error_result(error))
         except Exception as error:  # pragma: no cover - defensive 500
             self._respond(500, error_result(error))
+
+    def _stream_watch(self, body: object) -> None:
+        """``POST /v1/watch``: stream JSONL WatchEvents until done.
+
+        The response has no Content-Length — the connection closes when
+        ``max_events`` events were streamed or ``duration_s`` elapsed,
+        which is how JSONL consumers detect the end.  Heartbeat lines
+        keep the stream visibly alive between mutations.  Setup errors
+        (bad body, pooled executor) surface as normal 400 envelopes
+        before any streaming starts.
+        """
+        watch, params = self.service.watch_session(body)  # ReproError -> 400 upstream
+        request_id = self._request_id
+        telemetry = self.service.telemetry
+        telemetry.incr("watch.streams")
+        self.send_response(200)
+        self.send_header("Content-Type", _NDJSON)
+        self.send_header("X-Request-Id", request_id)
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        deadline = time.monotonic() + params["duration_s"]
+        last_line = time.monotonic()
+        sent = 0
+        try:
+            while time.monotonic() < deadline:
+                for event in watch.poll():
+                    self._write_event(event, request_id)
+                    telemetry.incr("watch.events_streamed")
+                    sent += 1
+                    last_line = time.monotonic()
+                    if params["max_events"] and sent >= params["max_events"]:
+                        return
+                now = time.monotonic()
+                if now - last_line >= params["heartbeat_s"]:
+                    self._write_event(watch.heartbeat(), request_id)
+                    last_line = now
+                time.sleep(min(params["poll_interval_s"], max(0.0, deadline - now)))
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover - client hangup
+            telemetry.incr("watch.client_disconnects")
+        finally:
+            watch.close()
+            self.service._count(True)
+
+    def _write_event(self, event, request_id: str) -> None:
+        payload = dict(event.to_dict(), request_id=request_id)
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        self.wfile.write(line.encode("utf-8"))
+        self.wfile.flush()
 
 
 class ServiceServer(ThreadingHTTPServer):
