@@ -14,10 +14,18 @@ you can put traffic on, in three layers:
   long-lived worker processes, each holding a
   :class:`~repro.service.registry.DatasetRegistry` so dataset chains are
   built once per worker.
-* **HTTP front-end** (:mod:`repro.service.server`) — a stdlib JSON API
-  (``POST /v1/evaluate|refine|lowest_k|sweep|mutate|batch``, ``GET
+* **HTTP front-end** (:mod:`repro.service.server`,
+  :mod:`repro.service.async_server`) — a stdlib JSON API (``POST
+  /v1/evaluate|refine|lowest_k|sweep|mutate|batch``, ``GET
   /v1/datasets``, ``GET /v1/stats``) exposed by ``repro serve``; batches
-  run through ``repro batch`` without a server.
+  run through ``repro batch`` without a server.  ``repro serve --async``
+  swaps the threaded server for an asyncio front-end with the same
+  routes and envelopes plus request admission (bounded pending queue,
+  429 + ``Retry-After`` on overflow), per-dataset mutation routing and
+  backpressure-aware JSONL streaming; ``--max-workers`` above
+  ``--workers`` puts the :class:`ElasticPoolExecutor` behind either
+  server — worker processes that autoscale on queue depth, boot from
+  snapshot-backed specs and drain gracefully when idle.
 
 Datasets are mutable in place: a ``mutate`` request applies a triple
 delta, incrementally patches the matrix/signature chain (bit-identical
@@ -43,6 +51,8 @@ from repro.service.executor import (
     create_executor,
     plan_batch,
 )
+from repro.service.async_server import AsyncServiceServer, make_async_server, serve_async
+from repro.service.elastic import ElasticPoolExecutor
 from repro.service.pool import PooledExecutor
 from repro.service.registry import DatasetRegistry, DatasetSpec
 from repro.service.server import StructurednessService, make_server, serve
@@ -64,6 +74,7 @@ __all__ = [
     "BatchGroup",
     "InlineExecutor",
     "PooledExecutor",
+    "ElasticPoolExecutor",
     "create_executor",
     "plan_batch",
     "DatasetRegistry",
@@ -71,6 +82,9 @@ __all__ = [
     "StructurednessService",
     "make_server",
     "serve",
+    "AsyncServiceServer",
+    "make_async_server",
+    "serve_async",
     "OPS",
     "MUTATING_OPS",
     "ServiceRequest",

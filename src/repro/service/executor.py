@@ -88,6 +88,18 @@ class BatchExecutor:
         concurrent) execution as wide as possible.  Mutations themselves
         run between waves, sequentially in batch order.
         """
+        return list(self.execute_stream(requests))
+
+    def execute_stream(self, requests: Sequence[object]):
+        """Run a batch lazily, yielding envelopes in submission order.
+
+        Execution proceeds wave by wave (exactly as :meth:`execute` — the
+        envelopes are bit-identical); an envelope is yielded as soon as it
+        and every earlier slot are resolved, so streaming transports can
+        put early results on the wire while later waves still compute.
+        Because this is a generator, a slow consumer applies backpressure:
+        the next wave only runs when the consumer asks for more.
+        """
         parsed: List[Optional[ServiceRequest]] = []
         envelopes: List[Optional[Dict[str, object]]] = []
         for raw in requests:
@@ -114,6 +126,7 @@ class BatchExecutor:
                 waves.append([])
             else:
                 waves[last_wave.get(request.dataset.key, 0)].append((index, request))
+        emitted = 0
         for slot, wave in enumerate(waves):
             if wave:
                 groups = plan_batch([r for _, r in wave])
@@ -126,8 +139,15 @@ class BatchExecutor:
             if slot < len(mutations):
                 index, request = mutations[slot]
                 envelopes[index] = self._execute_mutation(request)
+            # Flush the resolved prefix: every slot before a hole belongs
+            # to a later wave, so nothing already yielded can change.
+            while emitted < len(envelopes) and envelopes[emitted] is not None:
+                yield envelopes[emitted]
+                emitted += 1
         # Every slot is now either a parse-error envelope or a wave result.
-        return envelopes  # type: ignore[return-value]
+        while emitted < len(envelopes):
+            yield envelopes[emitted]
+            emitted += 1
 
     def execute_jsonl(self, text: str) -> str:
         """Run a JSONL batch document; returns a JSONL result document."""
@@ -253,6 +273,7 @@ def create_executor(
     registry: Optional[DatasetRegistry] = None,
     start_method: Optional[str] = None,
     jobs: Optional[object] = None,
+    max_workers: Optional[int] = None,
 ) -> BatchExecutor:
     """An executor sized to ``workers``: inline for 1, a process pool above.
 
@@ -261,7 +282,28 @@ def create_executor(
     rather than a silent no-op.  ``jobs`` is each session's (or pool
     worker's) intra-query parallelism budget — with a pool, every worker
     gets the same budget, so total concurrency is ``workers × jobs``.
+
+    ``max_workers`` (when given and greater than ``workers``) selects the
+    *elastic* pool instead: worker processes autoscale between ``workers``
+    and ``max_workers`` on queue depth, booting from snapshot-backed
+    dataset specs and draining gracefully when idle (see
+    :class:`repro.service.elastic.ElasticPoolExecutor`).
     """
+    if max_workers is not None and max_workers > max(workers, 1):
+        if registry is not None:
+            raise ValueError(
+                "a shared DatasetRegistry applies only to inline execution; "
+                "elastic pool workers each hold their own registry"
+            )
+        from repro.service.elastic import ElasticPoolExecutor
+
+        return ElasticPoolExecutor(
+            min_workers=max(workers, 1),
+            max_workers=max_workers,
+            solver_time_limit=solver_time_limit,
+            start_method=start_method,
+            jobs=jobs,
+        )
     if workers <= 1:
         return InlineExecutor(
             registry=registry, solver_time_limit=solver_time_limit, jobs=jobs

@@ -73,25 +73,29 @@ def _initialise_worker(
     _WORKER_APPLIED_SEQ = 0
 
 
-def _run_group(payload: Dict[str, object]) -> List[Dict[str, object]]:
-    """Worker entry point: catch up on the mutation log, then run one group.
+def _apply_job(
+    executor: InlineExecutor, applied_seq: int, payload: Dict[str, object]
+) -> Tuple[List[Dict[str, object]], int]:
+    """Catch up on the mutation log, then run one group on ``executor``.
 
     ``payload`` carries the group's wire dicts plus the mutation log as
-    ``(seq, wire dict)`` pairs; entries with a sequence number beyond the
-    worker's applied position are replayed into the worker's registry
-    (their envelopes are discarded — the phase that originated a mutation
-    already produced its envelope).  ``applied_seq`` marks the group
-    itself as a mutation so the executing worker does not replay it again
-    later: replaying a remove-then-insert of the same triple twice would
-    count spurious changes and skew the generation counter.
+    ``(seq, wire dict)`` pairs; entries with a sequence number beyond
+    ``applied_seq`` are replayed into the executor's registry (their
+    envelopes are discarded — the phase that originated a mutation
+    already produced its envelope).  ``payload["applied_seq"]`` marks the
+    group itself as a mutation so the executing worker does not replay it
+    again later: replaying a remove-then-insert of the same triple twice
+    would count spurious changes and skew the generation counter.
+
+    Returns ``(result envelopes, new applied_seq)``.  Shared by the
+    fixed-size pool workers here and the elastic workers in
+    :mod:`repro.service.elastic` so both fold the same mutation sequence.
     """
-    global _WORKER_APPLIED_SEQ
     from repro.service.wire import parse_request
 
-    assert _WORKER_EXECUTOR is not None, "pool worker was not initialised"
     for seq, mutation in payload.get("mutations", ()):
-        if seq > _WORKER_APPLIED_SEQ:
-            [replayed] = _WORKER_EXECUTOR.run_group([parse_request(mutation)])
+        if seq > applied_seq:
+            [replayed] = executor.run_group([parse_request(mutation)])
             if not replayed.get("ok"):
                 # Only environmental failures can land here (the original
                 # mutation succeeded elsewhere, and validated mutations are
@@ -102,13 +106,22 @@ def _run_group(payload: Dict[str, object]) -> List[Dict[str, object]]:
                     f"pool worker failed to replay mutation #{seq}: "
                     f"{replayed.get('error')}"
                 )
-            _WORKER_APPLIED_SEQ = seq
-    results = _WORKER_EXECUTOR.run_group(
-        [parse_request(d) for d in payload["requests"]]
-    )
+            applied_seq = seq
+    results = executor.run_group([parse_request(d) for d in payload["requests"]])
     applied = payload.get("applied_seq")
     if applied is not None:
-        _WORKER_APPLIED_SEQ = max(_WORKER_APPLIED_SEQ, applied)
+        applied_seq = max(applied_seq, applied)
+    return results, applied_seq
+
+
+def _run_group(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Worker entry point: one :func:`_apply_job` against the worker state."""
+    global _WORKER_APPLIED_SEQ
+
+    assert _WORKER_EXECUTOR is not None, "pool worker was not initialised"
+    results, _WORKER_APPLIED_SEQ = _apply_job(
+        _WORKER_EXECUTOR, _WORKER_APPLIED_SEQ, payload
+    )
     return results
 
 
@@ -129,6 +142,9 @@ class PooledExecutor(BatchExecutor):
     jobs:
         Intra-query parallelism budget passed through to every worker's
         sessions (``None`` defers to ``REPRO_JOBS`` in the worker).
+    drain_timeout:
+        Seconds :meth:`close` waits for in-flight jobs to drain before
+        escalating to ``terminate()``.
     """
 
     def __init__(
@@ -137,12 +153,14 @@ class PooledExecutor(BatchExecutor):
         solver_time_limit: Optional[float] = None,
         start_method: Optional[str] = None,
         jobs: Optional[object] = None,
+        drain_timeout: float = 10.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._solver_time_limit = solver_time_limit
         self._session_jobs = jobs
+        self._drain_timeout = drain_timeout
         self._context = (
             multiprocessing.get_context(start_method)
             if start_method
@@ -260,9 +278,24 @@ class PooledExecutor(BatchExecutor):
         }
 
     def close(self) -> None:
-        """Shut the worker processes down (the executor can be reused after)."""
+        """Drain in-flight jobs, then shut the workers down (reusable after).
+
+        Shutdown is graceful first: ``Pool.close()`` stops new submissions
+        and lets every dispatched job finish, bounded by ``drain_timeout``
+        seconds.  Only if the drain does not complete in time are the
+        worker processes ``terminate()``d — so an orderly shutdown of a
+        busy executor never drops work it already accepted.
+        """
         with self._lock:
-            if self._pool is not None:
-                self._pool.terminate()
-                self._pool.join()
-                self._pool = None
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        pool.close()
+        # Pool.join() has no timeout; bound it with a sacrificial thread.
+        joiner = threading.Thread(target=pool.join, daemon=True)
+        joiner.start()
+        joiner.join(self._drain_timeout)
+        if joiner.is_alive():
+            current_telemetry().incr("pool.forced_terminations")
+            pool.terminate()
+            joiner.join(self._drain_timeout)

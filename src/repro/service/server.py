@@ -57,6 +57,7 @@ sessions safe.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -74,6 +75,11 @@ __all__ = ["StructurednessService", "ServiceServer", "make_server", "serve"]
 
 _JSON = "application/json"
 _NDJSON = "application/x-ndjson"
+
+
+class _UnsupportedTransferEncoding(RequestError):
+    """A request body arrived with a Transfer-Encoding the server cannot
+    decode (maps to ``411 Length Required`` instead of the generic 400)."""
 
 
 class StructurednessService:
@@ -174,11 +180,18 @@ class StructurednessService:
         """
         with self._lock:
             server_counters = dict(self.counters)
-        return 200, {
+        payload: Dict[str, object] = {
             "server": server_counters,
             "service": self.telemetry.snapshot(),
             "process": current_telemetry().snapshot(),
         }
+        # Executors with their own always-on telemetry (the elastic pool's
+        # scale.worker_boots / scale.up_events / ...) surface it here, so
+        # scale events are observable over plain GET /v1/metrics.
+        executor_telemetry = getattr(self.executor, "telemetry", None)
+        if executor_telemetry is not None:
+            payload["executor"] = executor_telemetry.snapshot()
+        return 200, payload
 
     def watch_session(self, body: object):
         """Build the watch behind ``POST /v1/watch``: ``(WatchSession, params)``.
@@ -226,10 +239,24 @@ class StructurednessService:
                 "poll_interval_s": _timing("poll_interval_s", 0.05),
                 "heartbeat_s": _timing("heartbeat_s", 2.0),
             }
-        except (TypeError, ValueError) as error:
+        except (TypeError, ValueError, OverflowError) as error:
             raise RequestError(f"invalid watch timing field: {error}") from None
-        if params["duration_s"] <= 0 or params["poll_interval_s"] <= 0 or params["heartbeat_s"] <= 0:
-            raise RequestError("watch durations and intervals must be positive")
+        if params["max_events"] < 0:
+            raise RequestError(
+                f"max_events must be >= 0 (0 streams until the deadline), "
+                f"got {params['max_events']}"
+            )
+        for field in ("duration_s", "poll_interval_s", "heartbeat_s"):
+            value = params[field]
+            # NaN slips through a plain `<= 0` (every comparison against
+            # NaN is false) and the stream would then exit instantly
+            # because `time.monotonic() < deadline` is false too; +inf
+            # would never terminate.  Both are caller mistakes.
+            if not math.isfinite(value) or value <= 0:
+                raise RequestError(
+                    f"watch durations and intervals must be positive finite "
+                    f"numbers, got {field}={value!r}"
+                )
         dataset = registry.get(DatasetSpec.from_dict(body["dataset"]))
         watch = WatchSession(
             dataset, tuple(rules), theta=body.get("theta"), shards=body.get("shards")
@@ -254,6 +281,9 @@ class _Handler(BaseHTTPRequestHandler):
         """Stamp the request with its id and start time (once per request)."""
         self._request_id = self.service.next_request_id()
         self._started = time.perf_counter()
+        # Set once a status line has been sent: after that point an error
+        # must never try to send a second response on the same connection.
+        self._response_started = False
 
     def log_message(self, format: str, *args) -> None:
         # The access log is *always* routed through the service telemetry
@@ -273,6 +303,7 @@ class _Handler(BaseHTTPRequestHandler):
         )
         payload = dict(payload, request_id=request_id, server_time_ms=elapsed_ms)
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._response_started = True
         self.send_response(status)
         self.send_header("Content-Type", _JSON)
         self.send_header("Content-Length", str(len(body)))
@@ -285,6 +316,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.service.telemetry.incr(f"http.status.{status // 100}xx")
 
     def _read_body(self) -> bytes:
+        # A chunked request carries no Content-Length; silently reading an
+        # empty body here used to surface as a misleading "needs a
+        # 'dataset' spec" 400.  Name the unsupported encoding instead.
+        encoding = (self.headers.get("Transfer-Encoding") or "").strip().lower()
+        if encoding:
+            raise _UnsupportedTransferEncoding(
+                f"Transfer-Encoding {encoding!r} is not supported; "
+                "send the body with a Content-Length header"
+            )
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length) if length else b""
 
@@ -303,10 +343,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         self._begin_request()
-        raw = self._read_body()
-        content_type = (self.headers.get("Content-Type") or _JSON).split(";")[0].strip()
-        ndjson = content_type in (_NDJSON, "application/jsonl", "text/plain")
         try:
+            raw = self._read_body()
+            content_type = (self.headers.get("Content-Type") or _JSON).split(";")[0].strip()
+            ndjson = content_type in (_NDJSON, "application/jsonl", "text/plain")
             if not self.path.startswith("/v1/"):
                 self._respond(
                     404, {"ok": False, "error": {"type": "NotFound", "message": self.path}}
@@ -330,9 +370,17 @@ class _Handler(BaseHTTPRequestHandler):
                 )
         except json.JSONDecodeError as error:
             self._respond(400, error_result(RequestError(f"body is not valid JSON: {error}")))
+        except _UnsupportedTransferEncoding as error:
+            self._respond(411, dict(error_result(error), status=411))
         except ReproError as error:
             self._respond(400, error_result(error))
         except Exception as error:  # pragma: no cover - defensive 500
+            if self._response_started:
+                # The status line is gone (a streaming route failed after
+                # its headers); a second send_response would corrupt the
+                # connection.  The streaming routes already framed their
+                # own terminal error, so there is nothing left to send.
+                return
             self._respond(500, error_result(error))
 
     def _stream_watch(self, body: object) -> None:
@@ -343,12 +391,16 @@ class _Handler(BaseHTTPRequestHandler):
         which is how JSONL consumers detect the end.  Heartbeat lines
         keep the stream visibly alive between mutations.  Setup errors
         (bad body, pooled executor) surface as normal 400 envelopes
-        before any streaming starts.
+        before any streaming starts; a failure *after* the headers went
+        out is framed as a terminal ``{"kind": "error", ...}`` JSONL line
+        (the HTTP status is already on the wire, so a 500 envelope would
+        corrupt the response) and the connection closes.
         """
         watch, params = self.service.watch_session(body)  # ReproError -> 400 upstream
         request_id = self._request_id
         telemetry = self.service.telemetry
         telemetry.incr("watch.streams")
+        self._response_started = True
         self.send_response(200)
         self.send_header("Content-Type", _NDJSON)
         self.send_header("X-Request-Id", request_id)
@@ -358,6 +410,7 @@ class _Handler(BaseHTTPRequestHandler):
         deadline = time.monotonic() + params["duration_s"]
         last_line = time.monotonic()
         sent = 0
+        ok = True
         try:
             while time.monotonic() < deadline:
                 for event in watch.poll():
@@ -372,11 +425,26 @@ class _Handler(BaseHTTPRequestHandler):
                     self._write_event(watch.heartbeat(), request_id)
                     last_line = now
                 time.sleep(min(params["poll_interval_s"], max(0.0, deadline - now)))
-        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover - client hangup
+        except (BrokenPipeError, ConnectionResetError):  # client hangup
+            ok = False
             telemetry.incr("watch.client_disconnects")
+        except Exception as error:
+            # Mid-stream failure (e.g. a poll raising): emit a terminal
+            # error line in the JSONL framing and let the close mark EOF.
+            ok = False
+            telemetry.incr("watch.stream_errors")
+            try:
+                line = json.dumps(
+                    dict(error_result(error), kind="error", request_id=request_id),
+                    sort_keys=True,
+                ) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass
         finally:
             watch.close()
-            self.service._count(True)
+            self.service._count(ok)
 
     def _write_event(self, event, request_id: str) -> None:
         payload = dict(event.to_dict(), request_id=request_id)

@@ -1,0 +1,250 @@
+"""Tests for the asyncio front-end's own behaviour.
+
+The route/envelope contract is covered by running the whole of
+``test_service_http.py`` against both servers; this module covers what
+only the async tier has: bounded admission with 429 + ``Retry-After``,
+the admission snapshot in ``/v1/stats``/``/v1/metrics``, and the
+backpressure-aware NDJSON streaming of ``/v1/batch``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor as _Threads
+
+import pytest
+
+from repro.service import InlineExecutor, make_async_server
+from repro.service.executor import BatchExecutor
+
+DATASET = {"builtin": "dbpedia-persons", "params": {"n_subjects": 120, "seed": 3}}
+
+
+def _post(server, path, body, headers=None, timeout=30):
+    data = json.dumps(body).encode()
+    request = urllib.request.Request(
+        server.url + path, data=data,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class _GatedExecutor(BatchExecutor):
+    """An executor that blocks every request until the gate opens."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Semaphore(0)
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def execute(self, requests):
+        with self._lock:
+            self.calls += 1
+        self.started.release()
+        assert self.gate.wait(timeout=30), "test never opened the gate"
+        return [{"ok": True, "result": {"echo": True}} for _ in requests]
+
+    def execute_stream(self, requests):
+        return iter(self.execute(list(requests)))
+
+    def stats(self):
+        return {"mode": "gated", "calls": self.calls}
+
+    def close(self):
+        self.gate.set()
+
+
+class TestAdmissionControl:
+    def test_overflow_gets_429_with_retry_after_and_admitted_work_completes(self):
+        gated = _GatedExecutor()
+        server = make_async_server(
+            executor=gated, pending_limit=2, concurrency=1, retry_after_s=3
+        ).start()
+        try:
+            pool = _Threads(max_workers=5)
+            body = {"dataset": DATASET, "request": {"rule": "Cov"}}
+            first = pool.submit(_post, server, "/v1/evaluate", body)
+            assert gated.started.acquire(timeout=10)  # request 1 is running
+            second = pool.submit(_post, server, "/v1/evaluate", body)
+            # Wait until the second request is admitted (queued): pending=2.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if _get(server, "/v1/stats")[1]["admission"]["pending"] >= 2:
+                    break
+                time.sleep(0.02)
+            assert _get(server, "/v1/stats")[1]["admission"]["pending"] == 2
+            # The queue is full: the next request is refused immediately.
+            status, payload, headers = _post(server, "/v1/evaluate", body, timeout=10)
+            assert status == 429
+            assert payload["ok"] is False
+            assert payload["error"]["type"] == "ServiceOverloaded"
+            assert headers["Retry-After"] == "3"
+            # GET routes bypass admission: the service stays observable.
+            assert _get(server, "/healthz")[0] == 200
+            # Open the gate: both admitted requests complete successfully —
+            # saturation refused the overflow, it never dropped accepted work.
+            gated.gate.set()
+            for future in (first, second):
+                status, payload, _ = future.result(timeout=30)
+                assert status == 200 and payload["ok"] is True
+            stats = _get(server, "/v1/stats")[1]["admission"]
+            assert stats["rejected"] >= 1
+            assert stats["accepted"] >= 2
+            assert stats["pending"] == 0
+            pool.shutdown(wait=False)
+        finally:
+            gated.gate.set()
+            server.close()
+
+    def test_admission_snapshot_is_served_in_stats_and_metrics(self):
+        server = make_async_server(executor=InlineExecutor(), pending_limit=7).start()
+        try:
+            for path in ("/v1/stats", "/v1/metrics"):
+                status, payload = _get(server, path)
+                assert status == 200
+                admission = payload["admission"]
+                assert admission["pending_limit"] == 7
+                assert set(admission) >= {
+                    "pending", "peak_pending", "accepted", "rejected",
+                    "concurrency", "retry_after_s",
+                }
+        finally:
+            server.close()
+
+    def test_pending_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="pending_limit"):
+            make_async_server(executor=InlineExecutor(), pending_limit=0)
+
+
+class TestStreamingBatch:
+    def test_ndjson_accept_streams_one_envelope_per_line_in_order(self):
+        server = make_async_server(executor=InlineExecutor()).start()
+        try:
+            requests = [
+                {"op": "evaluate", "dataset": DATASET, "request": {"rule": "Cov"}},
+                {"op": "evaluate", "dataset": DATASET, "request": {"rule": "Sim"}},
+                {"not": "a request"},
+                {"op": "evaluate", "dataset": DATASET, "request": {"rule": "Cov"}},
+            ]
+            data = json.dumps({"requests": requests}).encode()
+            stream_request = urllib.request.Request(
+                server.url + "/v1/batch", data=data,
+                headers={"Content-Type": "application/json",
+                         "Accept": "application/x-ndjson"},
+            )
+            with urllib.request.urlopen(stream_request, timeout=30) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == "application/x-ndjson"
+                assert "Content-Length" not in response.headers  # EOF framing
+                lines = [json.loads(l) for l in response.read().decode().splitlines() if l]
+            # The streamed lines are exactly the JSON route's results array.
+            status, payload, _ = _post(server, "/v1/batch", {"requests": requests})
+            assert status == 200
+            assert lines == payload["results"]
+            assert [line["ok"] for line in lines] == [True, True, False, True]
+        finally:
+            server.close()
+
+    def test_mid_stream_executor_failure_is_framed_as_terminal_error_line(self):
+        class _ExplodingExecutor(InlineExecutor):
+            def execute_stream(self, requests):
+                requests = list(requests)
+                yield from super().execute_stream(requests[:1])
+                raise RuntimeError("wave two fell over")
+
+        server = make_async_server(executor=_ExplodingExecutor()).start()
+        try:
+            requests = [
+                {"op": "evaluate", "dataset": DATASET, "request": {"rule": "Cov"}},
+                {"op": "evaluate", "dataset": DATASET, "request": {"rule": "Sim"}},
+            ]
+            stream_request = urllib.request.Request(
+                server.url + "/v1/batch",
+                data=json.dumps({"requests": requests}).encode(),
+                headers={"Content-Type": "application/json",
+                         "Accept": "application/x-ndjson"},
+            )
+            with urllib.request.urlopen(stream_request, timeout=30) as response:
+                assert response.status == 200  # already committed pre-failure
+                lines = [json.loads(l) for l in response.read().decode().splitlines() if l]
+            assert len(lines) == 2
+            assert lines[0]["ok"] is True
+            assert lines[1]["kind"] == "error" and lines[1]["ok"] is False
+            assert "wave two fell over" in lines[1]["error"]["message"]
+        finally:
+            server.close()
+
+    def test_plain_json_batch_route_is_unchanged(self):
+        server = make_async_server(executor=InlineExecutor()).start()
+        try:
+            requests = [{"op": "evaluate", "dataset": DATASET, "request": {"rule": "Cov"}}]
+            status, payload, headers = _post(server, "/v1/batch", {"requests": requests})
+            assert status == 200
+            assert headers["Content-Type"] == "application/json"
+            assert payload["ok"] is True and payload["count"] == 1
+        finally:
+            server.close()
+
+
+class TestMutationRouting:
+    def test_mutations_of_different_datasets_do_not_serialise(self):
+        """Two gated mutations on different datasets run concurrently."""
+
+        class _GatedMutations(InlineExecutor):
+            def __init__(self):
+                super().__init__()
+                self.entered = threading.Semaphore(0)
+                self.gate = threading.Event()
+
+            def execute(self, requests):
+                parsed = list(requests)
+
+                def _op(raw):
+                    return raw.get("op") if isinstance(raw, dict) else getattr(raw, "op", None)
+
+                if any(_op(r) == "mutate" for r in parsed):
+                    self.entered.release()
+                    assert self.gate.wait(timeout=30)
+                return super().execute(parsed)
+
+        gated = _GatedMutations()
+        server = make_async_server(executor=gated, concurrency=4).start()
+        try:
+            pool = _Threads(max_workers=2)
+
+            def mutate(name):
+                return _post(server, "/v1/mutate", {
+                    "dataset": {
+                        "ntriples": f'<http://m/{name}> <http://m/p> "1" .\n',
+                        "name": f"route-{name}",
+                    },
+                    "add": [[f"http://m/{name}2", "http://m/p", '"1"']],
+                })
+
+            futures = [pool.submit(mutate, "a"), pool.submit(mutate, "b")]
+            # Both mutations reach the executor before the gate opens —
+            # per-dataset locks did not serialise them behind each other.
+            assert gated.entered.acquire(timeout=10)
+            assert gated.entered.acquire(timeout=10)
+            gated.gate.set()
+            for future in futures:
+                status, payload, _ = future.result(timeout=30)
+                assert status == 200 and payload["ok"] is True
+            pool.shutdown(wait=False)
+        finally:
+            gated.gate.set()
+            server.close()
