@@ -66,7 +66,7 @@ from repro.exceptions import (
     SnapshotError,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: Top-level conveniences resolved lazily so that ``import repro`` stays
 #: lightweight (the api package pulls in numpy/scipy-backed layers).

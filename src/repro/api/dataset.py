@@ -42,6 +42,19 @@ __all__ = [
 _BUILTIN_DATASETS: Dict[str, Callable[..., object]] = {}
 
 
+def _mmap_backed(array: object) -> bool:
+    """Whether an array's bytes live in a memory-mapped file (walks view bases)."""
+    import numpy as np
+
+    while isinstance(array, np.ndarray):
+        if isinstance(array, np.memmap):
+            return True
+        if array.base is None:
+            return False
+        array = array.base
+    return False
+
+
 def register_builtin_dataset(name: str, factory: Callable[..., object]) -> None:
     """Register a named dataset factory for :meth:`Dataset.builtin`."""
     _BUILTIN_DATASETS[name] = factory
@@ -222,6 +235,54 @@ class Dataset:
         )
 
     @classmethod
+    def build_out_of_core(
+        cls,
+        source: object,
+        snapshot_path: object,
+        *,
+        name: str = "",
+        sort: Optional[object] = None,
+        chunk_triples: Optional[int] = None,
+        partitions: Optional[int] = None,
+        overwrite: bool = False,
+        mmap: bool = True,
+        jobs: Optional[object] = None,
+        shards: int = 1,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "Dataset":
+        """Build a dataset from N-Triples on disk without holding it in RAM.
+
+        The out-of-core counterpart of ``from_ntriples(...)`` + ``save(...)``:
+        the file at ``source`` is stream-parsed in ``chunk_triples``-sized
+        chunks and assembled into a snapshot at ``snapshot_path`` in
+        ``partitions`` subject-partitioned merge passes (see
+        :func:`repro.storage.outofcore.build_out_of_core` for the memory
+        model), then reopened with :meth:`load` over memory-mapped
+        segments — so neither the build nor the returned handle ever
+        materialises the full triple set in memory.  Every artifact is
+        bit-identical to the in-memory path; the knobs default to the
+        ``REPRO_OOC_CHUNK`` / ``REPRO_OOC_PARTITIONS`` environment
+        variables.  ``sort``, ``jobs``, ``shards`` and ``telemetry`` mean
+        what they mean on :meth:`from_ntriples`.
+        """
+        from repro.storage.outofcore import build_out_of_core
+
+        build_out_of_core(
+            source,
+            snapshot_path,
+            name=name,
+            sort=sort,
+            chunk_triples=chunk_triples,
+            partitions=partitions,
+            overwrite=overwrite,
+        )
+        dataset = cls.load(snapshot_path, name=name, mmap=mmap, verify=False)
+        dataset.jobs = jobs
+        dataset.shards = shards
+        dataset.telemetry = telemetry
+        return dataset
+
+    @classmethod
     def builtin(cls, name: str, **params) -> "Dataset":
         """One of the built-in synthetic datasets, by name.
 
@@ -366,6 +427,61 @@ class Dataset:
                 generation=generation,
                 overwrite=overwrite,
             )
+
+    def residency(self) -> Dict[str, Dict[str, int]]:
+        """Which chain stages are disk-resident (mmap-backed) vs in RAM, right now.
+
+        ``stats``' ``*_from_snapshot`` markers say where a stage *came
+        from*; this reports where its bytes *live*: per stage, ``built``
+        (0/1), ``mmap_segments`` (how many of its backing arrays are views
+        over memory-mapped snapshot segments), ``mapped_bytes`` (their
+        payload size — paged in on demand, evictable by the OS) and
+        ``resident_bytes`` (payload of the arrays that are ordinary heap
+        memory).  After :meth:`load` the matrix's cell array stays mapped
+        while the signature table is rebuilt fully resident, and a
+        mutation patches the matrix into a fresh heap array — the report
+        reflects both truthfully.  The graph stage has no array backing
+        (hash indexes are Python dicts); its ``resident_bytes`` is the
+        12-bytes-per-triple ID payload, a deliberate lower bound.
+
+        Does not force any build: unbuilt stages report ``built: 0`` and
+        zero bytes.
+        """
+        with self._lock:
+            report: Dict[str, Dict[str, int]] = {}
+
+            def account(stage: str, arrays) -> None:
+                mmap_segments = 0
+                mapped = resident = 0
+                for array in arrays:
+                    if _mmap_backed(array):
+                        mmap_segments += 1
+                        mapped += int(array.nbytes)
+                    else:
+                        resident += int(array.nbytes)
+                report[stage] = {
+                    "built": 1,
+                    "mmap_segments": mmap_segments,
+                    "mapped_bytes": mapped,
+                    "resident_bytes": resident,
+                }
+
+            unbuilt = {"built": 0, "mmap_segments": 0, "mapped_bytes": 0, "resident_bytes": 0}
+            if self._graph is not None:
+                report["graph"] = dict(unbuilt, built=1, resident_bytes=12 * len(self._graph))
+            else:
+                report["graph"] = dict(unbuilt)
+            if self._matrix is not None:
+                account("matrix", [self._matrix.data])
+            else:
+                report["matrix"] = dict(unbuilt)
+            if self._table is not None:
+                # The table's backing arrays, not the copying accessors —
+                # residency must inspect the arrays the stage actually holds.
+                account("table", [self._table._count_vec, self._table._support_bool])
+            else:
+                report["table"] = dict(unbuilt)
+            return report
 
     @property
     def snapshot_provenance(self) -> Optional[Dict[str, object]]:

@@ -56,6 +56,11 @@ docs/snapshots.md)::
     repro snapshot build snapshots/persons --builtin dbpedia-persons --param n_subjects=5000
     repro snapshot build snapshots/people --ntriples data.nt --sort http://xmlns.com/foaf/0.1/Person
     repro snapshot inspect snapshots/persons --json
+
+Build a snapshot from an N-Triples file that does not fit in memory,
+streaming it through the out-of-core pipeline (see docs/outofcore.md)::
+
+    repro build huge.nt snapshots/huge --out-of-core --chunk-triples 65536 --partitions 8
 """
 
 from __future__ import annotations
@@ -202,6 +207,34 @@ def build_parser() -> argparse.ArgumentParser:
         "'-' reads stdin (default)",
     )
     watch.add_argument("--json", action="store_true", help="emit events as JSONL")
+
+    ooc_build = subparsers.add_parser(
+        "build", help="build a snapshot from an N-Triples file (optionally out-of-core)"
+    )
+    ooc_build.add_argument("source", help="path to an N-Triples file")
+    ooc_build.add_argument("output", help="snapshot directory to write")
+    ooc_build.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="stream the file through the disk-backed pipeline in bounded "
+        "memory instead of building the dataset in RAM (see docs/outofcore.md)",
+    )
+    ooc_build.add_argument(
+        "--chunk-triples", type=int, default=None,
+        help="out-of-core parse-chunk size in triples (default: the "
+        "REPRO_OOC_CHUNK env var, else 65536)",
+    )
+    ooc_build.add_argument(
+        "--partitions", type=int, default=None,
+        help="out-of-core subject-partition count for the merge passes "
+        "(default: the REPRO_OOC_PARTITIONS env var, else 8)",
+    )
+    ooc_build.add_argument(
+        "--sort", help="restrict to subjects declared of this rdf:type"
+    )
+    ooc_build.add_argument("--name", help="dataset display name recorded in the manifest")
+    ooc_build.add_argument("--force", action="store_true", help="overwrite an existing snapshot")
+    ooc_build.add_argument("--json", action="store_true", help="emit the manifest info as JSON")
 
     snapshot = subparsers.add_parser(
         "snapshot", help="persist and inspect binary dataset snapshots"
@@ -382,6 +415,36 @@ def _command_batch(args: argparse.Namespace) -> int:
             handle.write(output + ("\n" if output else ""))
     else:
         print(output)
+    return 0
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    import json
+
+    if not args.out_of_core and (args.chunk_triples is not None or args.partitions is not None):
+        raise SystemExit("build: --chunk-triples/--partitions require --out-of-core")
+    try:
+        if args.out_of_core:
+            from repro.storage.outofcore import build_out_of_core
+
+            info = build_out_of_core(
+                args.source,
+                args.output,
+                name=args.name or "",
+                sort=args.sort,
+                chunk_triples=args.chunk_triples,
+                partitions=args.partitions,
+                overwrite=args.force,
+            )
+        else:
+            dataset = Dataset.from_ntriples(args.source, sort=args.sort)
+            info = dataset.save(args.output, name=args.name, overwrite=args.force)
+    except (SnapshotError, RequestError) as error:
+        raise SystemExit(f"build: {error}")
+    if args.json:
+        print(json.dumps(info.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_snapshot_info(info, verb="wrote"))
     return 0
 
 
@@ -579,6 +642,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "watch":
         return _command_watch(args)
+    if args.command == "build":
+        return _command_build(args)
     if args.command == "snapshot":
         return _command_snapshot(args, parser)
     parser.print_help()

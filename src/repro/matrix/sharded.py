@@ -91,8 +91,9 @@ class ShardedSignatureTable:
         self._assignment: Dict[Signature, int] = {
             sig: shard_of_signature(sig, n_shards) for sig in table.signatures
         }
+        built = self._materialise_shards(table, range(n_shards))
         self._shards: Tuple[SignatureTable, ...] = tuple(
-            self._build_shard(table, index) for index in range(n_shards)
+            built[index] for index in range(n_shards)
         )
         self.stats: Dict[str, int] = {
             "shards_built": n_shards,
@@ -101,18 +102,42 @@ class ShardedSignatureTable:
             "refreshes": 0,
         }
 
-    def _build_shard(self, table: SignatureTable, index: int) -> SignatureTable:
-        """Materialise shard ``index`` of ``table`` (full property universe)."""
-        counts = {
-            sig: count
-            for sig, count in table.counts().items()
-            if self._assignment[sig] == index
-        }
-        members = None
-        if table.has_members:
-            members = {sig: table.members_of(sig) for sig in counts}
-        label = f"{table.name}[shard {index}/{self._n_shards}]" if table.name else ""
-        return SignatureTable(table.properties, counts, members=members, name=label)
+    def _materialise_shards(
+        self, table: SignatureTable, indices
+    ) -> Dict[int, SignatureTable]:
+        """Build the requested shard tables in ONE pass over the signatures.
+
+        The signature stream is partitioned into per-shard count/member
+        mappings first and only then materialised, so constructing S shards
+        costs one scan of the parent table instead of S — which is what
+        lets a freshly loaded (possibly out-of-core-built, disk-resident)
+        table be sharded without re-touching its signatures per shard, and
+        an incremental refresh rebuild only its dirty shards without
+        scanning the clean ones.
+        """
+        wanted = set(indices)
+        counts_by: Dict[int, Dict[Signature, int]] = {index: {} for index in wanted}
+        members_by: Optional[Dict[int, Dict[Signature, tuple]]] = (
+            {index: {} for index in wanted} if table.has_members else None
+        )
+        assignment = self._assignment
+        for sig, count in table.counts().items():
+            index = assignment[sig]
+            if index not in wanted:
+                continue
+            counts_by[index][sig] = count
+            if members_by is not None:
+                members_by[index][sig] = table.members_of(sig)
+        shards: Dict[int, SignatureTable] = {}
+        for index in wanted:
+            label = f"{table.name}[shard {index}/{self._n_shards}]" if table.name else ""
+            shards[index] = SignatureTable(
+                table.properties,
+                counts_by[index],
+                members=members_by[index] if members_by is not None else None,
+                name=label,
+            )
+        return shards
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -243,8 +268,9 @@ class ShardedSignatureTable:
         fresh._assignment = {
             sig: shard_of_signature(sig, self._n_shards) for sig in new_table.signatures
         }
+        rebuilt = fresh._materialise_shards(new_table, dirty)
         fresh._shards = tuple(
-            fresh._build_shard(new_table, index) if index in dirty else self._shards[index]
+            rebuilt[index] if index in dirty else self._shards[index]
             for index in range(self._n_shards)
         )
         fresh.stats = dict(self.stats)

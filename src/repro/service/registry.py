@@ -44,9 +44,14 @@ class DatasetSpec:
 
     ``sort`` (an ``rdf:type`` URI restricting the subjects) applies to the
     N-Triples variants only — a snapshot is a prebuilt chain, restrict the
-    dataset *before* saving it.  Specs are frozen value objects; ``key``
-    is a canonical string used to group batch requests and to index
-    registries.
+    dataset *before* saving it.  ``mmap`` applies to snapshots only and
+    controls whether the worker maps the segments read-only from disk
+    (``True``, the out-of-core default for artifacts written by
+    ``Dataset.build_out_of_core``) or copies them onto the heap
+    (``False``); leaving it ``None`` uses ``Dataset.load``'s default and
+    keeps the spec's canonical key identical to pre-``mmap`` clients.
+    Specs are frozen value objects; ``key`` is a canonical string used to
+    group batch requests and to index registries.
     """
 
     builtin: Optional[str] = None
@@ -55,6 +60,7 @@ class DatasetSpec:
     snapshot: Optional[str] = None
     sort: Optional[str] = None
     name: Optional[str] = None
+    mmap: Optional[bool] = None
     params: Tuple[Tuple[str, object], ...] = field(default=())
 
     def validated(self) -> "DatasetSpec":
@@ -72,6 +78,8 @@ class DatasetSpec:
             raise RequestError(
                 "'sort' applies to N-Triples datasets, not built-in generators or snapshots"
             )
+        if self.mmap is not None and self.snapshot is None:
+            raise RequestError("'mmap' only applies to snapshot datasets")
         if self.params and self.builtin is None:
             raise RequestError("'params' only applies to built-in generator datasets")
         for key, value in self.params:
@@ -88,12 +96,17 @@ class DatasetSpec:
             return cls(builtin=data).validated()
         if not isinstance(data, dict):
             raise RequestError(f"a dataset spec must be a name or an object, got {data!r}")
-        unknown = set(data) - {"builtin", "path", "ntriples", "snapshot", "sort", "name", "params"}
+        unknown = set(data) - {
+            "builtin", "path", "ntriples", "snapshot", "sort", "name", "mmap", "params"
+        }
         if unknown:
             raise RequestError(f"unknown dataset spec fields: {', '.join(sorted(unknown))}")
         params = data.get("params") or {}
         if not isinstance(params, dict):
             raise RequestError(f"dataset 'params' must be an object, got {params!r}")
+        mmap = data.get("mmap")
+        if mmap is not None and not isinstance(mmap, bool):
+            raise RequestError(f"dataset 'mmap' must be a boolean, got {mmap!r}")
         return cls(
             builtin=data.get("builtin"),
             path=data.get("path"),
@@ -101,13 +114,14 @@ class DatasetSpec:
             snapshot=data.get("snapshot"),
             sort=data.get("sort"),
             name=data.get("name"),
+            mmap=mmap,
             params=tuple(sorted(params.items())),
         ).validated()
 
     def to_dict(self) -> Dict[str, object]:
         """The spec's wire form (inverse of :meth:`from_dict`)."""
         payload: Dict[str, object] = {}
-        for field_name in ("builtin", "path", "ntriples", "snapshot", "sort", "name"):
+        for field_name in ("builtin", "path", "ntriples", "snapshot", "sort", "name", "mmap"):
             value = getattr(self, field_name)
             if value is not None:
                 payload[field_name] = value
@@ -130,7 +144,9 @@ class DatasetSpec:
                 )
             return Dataset.builtin(self.builtin, **dict(self.params))
         if self.snapshot is not None:
-            return Dataset.load(self.snapshot, name=self.name or "")
+            if self.mmap is None:
+                return Dataset.load(self.snapshot, name=self.name or "")
+            return Dataset.load(self.snapshot, name=self.name or "", mmap=self.mmap)
         if self.path is not None:
             return Dataset.from_ntriples(self.path, name=self.name or "", sort=self.sort)
         return Dataset.from_ntriples_text(
@@ -177,9 +193,12 @@ class DatasetRegistry:
         worker reports the same generation for the same spec.  Datasets
         reopened from a snapshot additionally carry a ``snapshot`` entry
         (path + on-disk format version) so ``/v1/datasets`` shows their
-        provenance, and ``parallelism`` reports each handle's resolved
+        provenance, ``parallelism`` reports each handle's resolved
         jobs/shards configuration so load tests can verify the deployed
-        topology.
+        topology, and ``residency`` breaks each built stage down into
+        heap-resident versus mmap-backed bytes (see
+        :meth:`Dataset.residency`) so operators can see how much of a
+        worker's data actually lives on disk.
         """
         from repro.parallel import resolve_jobs
 
@@ -196,6 +215,7 @@ class DatasetRegistry:
                         "jobs": resolve_jobs(getattr(dataset, "jobs", None)),
                         "shards": getattr(dataset, "shards", 1),
                     },
+                    "residency": dataset.residency(),
                 }
                 provenance = dataset.snapshot_provenance
                 if provenance is not None:

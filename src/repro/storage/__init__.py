@@ -6,9 +6,19 @@ Two ways artifacts leave process memory:
   a sort refinement (Section 4's property tables, with null ratios);
 * :mod:`repro.storage.snapshots` — the versioned, checksummed binary
   snapshot store persisting the graph → matrix → signature-table chain for
-  zero-rebuild warm starts (see DESIGN.md, "Persistence & snapshots").
+  zero-rebuild warm starts (see DESIGN.md, "Persistence & snapshots");
+* :mod:`repro.storage.outofcore` — the disk-backed build pipeline that
+  stream-parses N-Triples in bounded memory and assembles the same
+  snapshot layout in partitioned merge passes (see docs/outofcore.md).
 """
 
+from repro.storage.outofcore import (
+    DEFAULT_CHUNK_TRIPLES,
+    DEFAULT_PARTITIONS,
+    build_out_of_core,
+    default_chunk_triples,
+    default_partitions,
+)
 from repro.storage.property_tables import (
     PropertyTable,
     build_property_tables,
@@ -20,6 +30,7 @@ from repro.storage.snapshots import (
     EncodedChain,
     Snapshot,
     SnapshotInfo,
+    SnapshotWriter,
     check_snapshot_target,
     encode_chain,
     inspect_snapshot,
@@ -32,11 +43,17 @@ __all__ = [
     "PropertyTable",
     "build_property_tables",
     "null_ratio_report",
+    "DEFAULT_CHUNK_TRIPLES",
+    "DEFAULT_PARTITIONS",
+    "build_out_of_core",
+    "default_chunk_triples",
+    "default_partitions",
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
     "EncodedChain",
     "Snapshot",
     "SnapshotInfo",
+    "SnapshotWriter",
     "check_snapshot_target",
     "encode_chain",
     "inspect_snapshot",

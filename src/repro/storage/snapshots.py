@@ -70,6 +70,7 @@ __all__ = [
     "check_snapshot_target",
     "EncodedChain",
     "encode_chain",
+    "SnapshotWriter",
     "write_encoded_snapshot",
     "write_snapshot",
     "open_snapshot",
@@ -308,6 +309,171 @@ def encode_chain(
     )
 
 
+class SnapshotWriter:
+    """An incremental snapshot writer: stage segments one at a time, swap atomically.
+
+    The streaming-capable half of :func:`write_encoded_snapshot`, usable on
+    its own by builders whose segments never exist in memory all at once
+    (the out-of-core pipeline in :mod:`repro.storage.outofcore`).  Segments
+    are assembled in a sibling staging directory — either handed over as
+    complete arrays (:meth:`add_array`) or created as writable ``.npy``
+    memory-maps to be filled block by block (:meth:`create_segment`) — and
+    :meth:`finalise` then hashes every file, writes the manifest and
+    performs the same atomic move-aside/rename/delete swap the one-shot
+    writer has always used: at every instant the target path holds either
+    a complete snapshot or (first save) nothing.
+
+    A writer is single-use: after :meth:`finalise` or :meth:`abort` it is
+    spent.  Abandoning one without calling either leaks the staging
+    directory, so builders should abort in their failure paths.
+    """
+
+    def __init__(self, path: object, *, overwrite: bool = False):
+        check_snapshot_target(path, overwrite=overwrite)
+        self._target = Path(path)
+        # Unique staging/aside names: concurrent saves to one path (two
+        # threads share a PID) must never clobber each other's in-flight
+        # directories — each writer gets its own and the final renames race
+        # harmlessly (last rename wins a complete snapshot).
+        self._token = f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        self._staging = self._target.with_name(f"{self._target.name}.tmp-{self._token}")
+        self._staging.mkdir(parents=True)
+        self._files: Dict[str, Path] = {}
+        self._memmaps: List[np.memmap] = []
+        self._spent = False
+
+    @property
+    def staging_dir(self) -> Path:
+        """The staging directory segments are assembled in (renamed on finalise)."""
+        return self._staging
+
+    def _register(self, segment_name: str) -> Path:
+        if self._spent:
+            raise SnapshotError("this SnapshotWriter was already finalised or aborted")
+        if segment_name not in _SEGMENT_DTYPES:
+            raise SnapshotError(f"unknown snapshot segment {segment_name!r}")
+        if segment_name in self._files:
+            raise SnapshotError(f"segment {segment_name!r} was already staged")
+        file_path = self._staging / f"{segment_name}.npy"
+        self._files[segment_name] = file_path
+        return file_path
+
+    def add_array(self, segment_name: str, array: np.ndarray) -> None:
+        """Stage a complete in-memory array as one segment file."""
+        file_path = self._register(segment_name)
+        np.save(file_path, np.ascontiguousarray(array), allow_pickle=False)
+
+    def create_segment(
+        self, segment_name: str, shape: Tuple[int, ...], dtype: object
+    ) -> np.ndarray:
+        """Create a writable ``.npy`` memory-map for a segment; fill it blockwise.
+
+        This is how the out-of-core builder writes arrays larger than RAM:
+        the file is allocated up front (zero-filled) and the caller scatters
+        row blocks into the returned map.  The map is flushed and released
+        by :meth:`finalise`; the dtype must match the segment's declared
+        dtype so a reopened snapshot validates.
+        """
+        file_path = self._register(segment_name)
+        expected = np.dtype(_SEGMENT_DTYPES[segment_name])
+        if np.dtype(dtype) != expected:
+            raise SnapshotError(
+                f"segment {segment_name!r} must have dtype {expected}, got {np.dtype(dtype)}"
+            )
+        # Zero-element arrays cannot be memory-mapped; np.lib.format still
+        # writes a valid header, so fall back to a plain save.
+        if int(np.prod(shape)) == 0:
+            array = np.zeros(shape, dtype=dtype)
+            np.save(file_path, array, allow_pickle=False)
+            return array
+        mm = np.lib.format.open_memmap(file_path, mode="w+", dtype=dtype, shape=shape)
+        self._memmaps.append(mm)
+        return mm
+
+    def finalise(
+        self,
+        *,
+        name: str = "",
+        generation: int = 0,
+        stages: Sequence[str] = (),
+        counts: Optional[Dict[str, int]] = None,
+        table_has_members: bool = False,
+    ) -> SnapshotInfo:
+        """Hash every staged segment, write the manifest, swap into place."""
+        if self._spent:
+            raise SnapshotError("this SnapshotWriter was already finalised or aborted")
+
+        from repro import __version__
+
+        target, staging, token = self._target, self._staging, self._token
+        try:
+            for mm in self._memmaps:
+                mm.flush()
+            self._memmaps.clear()
+            segments: Dict[str, Dict[str, object]] = {}
+            for segment_name in sorted(self._files):
+                file_path = self._files[segment_name]
+                segments[segment_name] = {
+                    "file": file_path.name,
+                    "bytes": file_path.stat().st_size,
+                    "sha256": _sha256_file(file_path),
+                }
+            manifest: Dict[str, object] = {
+                "magic": SNAPSHOT_MAGIC,
+                "format_version": SNAPSHOT_VERSION,
+                "created_by": f"repro {__version__}",
+                "name": name,
+                "generation": int(generation),
+                "stages": list(stages),
+                "table_has_members": bool(table_has_members),
+                "counts": dict(counts or {}),
+                "segments": segments,
+            }
+            manifest["checksum"] = hashlib.sha256(
+                _canonical_manifest_bytes(manifest)
+            ).hexdigest()
+            with open(staging / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            # Move the old snapshot aside (cheap rename), swing the new one
+            # into place, only then delete the old bytes: a crash anywhere in
+            # between leaves either the old or the new snapshot at ``path``.
+            # Concurrent writers race on the two renames; each loss mode means
+            # another writer's *complete* snapshot got there first, so losing
+            # is benign — never an error, never a partial state at ``path``.
+            replaced = target.with_name(f"{target.name}.old-{token}")
+            moved_aside = False
+            if target.exists():
+                try:
+                    os.rename(target, replaced)
+                    moved_aside = True
+                except FileNotFoundError:
+                    pass  # a concurrent writer already swapped the old one away
+            try:
+                os.rename(staging, target)
+            except OSError:
+                if (target / MANIFEST_NAME).exists():
+                    # Lost the final rename: a complete snapshot from a
+                    # concurrent writer is in place; ours is redundant.
+                    shutil.rmtree(staging)
+                    manifest = _read_manifest(target)
+                else:
+                    raise
+            if moved_aside:
+                shutil.rmtree(replaced)
+        except Exception:
+            self.abort()
+            raise
+        self._spent = True
+        return _info_from_manifest(target, manifest)
+
+    def abort(self) -> None:
+        """Discard the staging directory (idempotent; safe in failure paths)."""
+        self._memmaps.clear()
+        self._spent = True
+        shutil.rmtree(self._staging, ignore_errors=True)
+
+
 def write_encoded_snapshot(
     path: object,
     encoded: EncodedChain,
@@ -318,85 +484,30 @@ def write_encoded_snapshot(
 ) -> SnapshotInfo:
     """Write an :class:`EncodedChain` as a snapshot directory at ``path``.
 
-    The write is atomic: segments and manifest are assembled in a sibling
-    temporary directory, an existing snapshot is moved aside, the staging
-    directory is renamed into place and only then is the old snapshot
-    deleted — at every instant ``path`` either holds a complete snapshot
-    or (for a first-time save) nothing.
+    The write is atomic (see :class:`SnapshotWriter`, which this wraps):
+    segments and manifest are assembled in a sibling temporary directory,
+    an existing snapshot is moved aside, the staging directory is renamed
+    into place and only then is the old snapshot deleted — at every
+    instant ``path`` either holds a complete snapshot or (for a
+    first-time save) nothing.
 
     Raises :class:`~repro.exceptions.SnapshotError` when ``path`` exists
     and ``overwrite`` is false, or exists and is not a snapshot.
     """
-    target = Path(path)
-    check_snapshot_target(target, overwrite=overwrite)
-
-    from repro import __version__
-
-    # Unique staging/aside names: concurrent saves to one path (two
-    # threads share a PID) must never clobber each other's in-flight
-    # directories — each writer gets its own and the final renames race
-    # harmlessly (last rename wins a complete snapshot).
-    token = f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
-    staging = target.with_name(f"{target.name}.tmp-{token}")
-    staging.mkdir(parents=True)
+    writer = SnapshotWriter(path, overwrite=overwrite)
     try:
-        segments: Dict[str, Dict[str, object]] = {}
         for segment_name, array in encoded.arrays.items():
-            file_name = f"{segment_name}.npy"
-            file_path = staging / file_name
-            np.save(file_path, np.ascontiguousarray(array), allow_pickle=False)
-            segments[segment_name] = {
-                "file": file_name,
-                "bytes": file_path.stat().st_size,
-                "sha256": _sha256_file(file_path),
-            }
-        manifest: Dict[str, object] = {
-            "magic": SNAPSHOT_MAGIC,
-            "format_version": SNAPSHOT_VERSION,
-            "created_by": f"repro {__version__}",
-            "name": name or encoded.default_name,
-            "generation": int(generation),
-            "stages": list(encoded.stages),
-            "table_has_members": encoded.table_has_members,
-            "counts": encoded.counts,
-            "segments": segments,
-        }
-        manifest["checksum"] = hashlib.sha256(
-            _canonical_manifest_bytes(manifest)
-        ).hexdigest()
-        with open(staging / MANIFEST_NAME, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        # Move the old snapshot aside (cheap rename), swing the new one
-        # into place, only then delete the old bytes: a crash anywhere in
-        # between leaves either the old or the new snapshot at ``path``.
-        # Concurrent writers race on the two renames; each loss mode means
-        # another writer's *complete* snapshot got there first, so losing
-        # is benign — never an error, never a partial state at ``path``.
-        replaced = target.with_name(f"{target.name}.old-{token}")
-        moved_aside = False
-        if target.exists():
-            try:
-                os.rename(target, replaced)
-                moved_aside = True
-            except FileNotFoundError:
-                pass  # a concurrent writer already swapped the old one away
-        try:
-            os.rename(staging, target)
-        except OSError:
-            if (target / MANIFEST_NAME).exists():
-                # Lost the final rename: a complete snapshot from a
-                # concurrent writer is in place; ours is redundant.
-                shutil.rmtree(staging)
-                manifest = _read_manifest(target)
-            else:
-                raise
-        if moved_aside:
-            shutil.rmtree(replaced)
+            writer.add_array(segment_name, array)
     except Exception:
-        shutil.rmtree(staging, ignore_errors=True)
+        writer.abort()
         raise
-    return _info_from_manifest(target, manifest)
+    return writer.finalise(
+        name=name or encoded.default_name,
+        generation=generation,
+        stages=encoded.stages,
+        counts=encoded.counts,
+        table_has_members=encoded.table_has_members,
+    )
 
 
 def write_snapshot(

@@ -410,3 +410,67 @@ class TestServiceIntegration:
         with PooledExecutor(workers=4) as pool:
             pooled = pool.execute(batch)
         assert json.dumps(pooled, sort_keys=True) == json.dumps(inline, sort_keys=True)
+
+
+class TestResidency:
+    """``Dataset.residency()`` must report where each stage's bytes live.
+
+    The previous ``stats`` view under-reported disk-residency: an
+    mmap-backed matrix counted as if it were heap bytes.  The residency
+    report distinguishes the two per stage and is surfaced through
+    ``DatasetRegistry.describe()`` so ``/v1/datasets`` shows it.
+    """
+
+    def _snapshot(self, tmp_path):
+        Dataset.from_ntriples_text(NTRIPLES, name="resi").save(tmp_path / "snap")
+        return tmp_path / "snap"
+
+    def test_mmap_load_reports_disk_resident_matrix(self, tmp_path):
+        dataset = Dataset.load(self._snapshot(tmp_path), mmap=True)
+        report = dataset.residency()
+        assert set(report) == {"graph", "matrix", "table"}
+        matrix = report["matrix"]
+        assert matrix["built"] and matrix["mmap_segments"] == 1
+        assert matrix["mapped_bytes"] > 0 and matrix["resident_bytes"] == 0
+        # the signature table always rebuilds fresh arrays: heap-resident
+        table = report["table"]
+        assert table["built"] and table["mmap_segments"] == 0
+        assert table["resident_bytes"] > 0
+
+    def test_heap_load_reports_resident_matrix(self, tmp_path):
+        dataset = Dataset.load(self._snapshot(tmp_path), mmap=False)
+        matrix = dataset.residency()["matrix"]
+        assert matrix["mmap_segments"] == 0 and matrix["resident_bytes"] > 0
+
+    def test_unbuilt_stages_report_unbuilt_without_forcing_them(self, tmp_path):
+        dataset = Dataset.load(self._snapshot(tmp_path), mmap=True)
+        assert dataset.residency()["graph"]["built"] == 0
+        dataset.graph  # force the replay
+        graph = dataset.residency()["graph"]
+        assert graph["built"] and graph["resident_bytes"] > 0
+
+    def test_mutation_makes_the_matrix_heap_resident(self, tmp_path):
+        dataset = Dataset.load(self._snapshot(tmp_path), mmap=True)
+        assert dataset.residency()["matrix"]["mmap_segments"] == 1
+        dataset.mutate(add=[["http://ex/new", "http://ex/name", "http://ex/o"]])
+        matrix = dataset.residency()["matrix"]
+        assert matrix["mmap_segments"] == 0 and matrix["resident_bytes"] > 0
+
+    def test_registry_describe_carries_residency(self, tmp_path):
+        registry = DatasetRegistry()
+        spec = DatasetSpec.from_dict(
+            {"snapshot": str(self._snapshot(tmp_path)), "mmap": True}
+        )
+        registry.get(spec)
+        [entry] = registry.describe()
+        assert entry["spec"]["mmap"] is True
+        assert entry["residency"]["matrix"]["mmap_segments"] == 1
+        assert entry["residency"]["table"]["resident_bytes"] > 0
+
+    def test_mmap_spec_field_is_validated(self):
+        with pytest.raises(Exception):
+            DatasetSpec.from_dict({"builtin": "wordnet-nouns", "mmap": True})
+        with pytest.raises(Exception):
+            DatasetSpec.from_dict({"snapshot": "/tmp/x", "mmap": "yes"})
+        spec = DatasetSpec.from_dict({"snapshot": "/tmp/x"})
+        assert "mmap" not in spec.to_dict()  # None keeps pre-mmap keys stable
